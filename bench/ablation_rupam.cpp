@@ -1,0 +1,78 @@
+// Ablation study: flip each RUPAM mechanism off and measure the impact on
+// the workload that exercises it most. Not a paper figure — it validates
+// that each design choice DESIGN.md calls out actually carries weight.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace rupam;
+
+double run_with(const char* workload, RupamConfig rupam_cfg, int reps = 2,
+                double res_factor = 2.0) {
+  rupam_cfg.res_factor = res_factor;
+  ExperimentConfig cfg;
+  cfg.scheduler = SchedulerKind::kRupam;
+  cfg.repetitions = reps;
+  cfg.sim.rupam = rupam_cfg;
+  return run_experiment(workload_preset(workload), cfg).mean_makespan();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rupam;
+  int reps = argc > 1 ? std::atoi(argv[1]) : 2;
+  bench::print_header("Ablation", "RUPAM mechanisms toggled off, one at a time");
+
+  TextTable table({"Variant", "Workload", "Makespan (s)", "vs full RUPAM"});
+  RupamConfig full;
+
+  struct Case {
+    const char* label;
+    const char* workload;
+    RupamConfig cfg;
+  };
+  RupamConfig no_lock = full;
+  no_lock.opt_executor_lock = false;
+  RupamConfig no_guard = full;
+  no_guard.memory_guard = false;
+  RupamConfig no_straggler = full;
+  no_straggler.memory_straggler = false;
+  RupamConfig no_race = full;
+  no_race.gpu_cpu_race = false;
+  RupamConfig no_overcommit = full;
+  no_overcommit.overcommit = false;
+
+  std::vector<Case> cases = {
+      {"full RUPAM", "LR", full},
+      {"no optexecutor lock", "LR", no_lock},
+      {"full RUPAM", "PR", full},
+      {"no memory guard", "PR", no_guard},
+      {"no memory-straggler relocation", "PR", no_straggler},
+      {"full RUPAM", "KMeans", full},
+      {"no CPU/GPU dual-run race", "KMeans", no_race},
+      {"full RUPAM", "TeraSort", full},
+      {"no over-commit (slot semantics)", "TeraSort", no_overcommit},
+  };
+
+  std::map<std::string, double> baselines;
+  for (const auto& c : cases) {
+    double makespan = run_with(c.workload, c.cfg, reps);
+    std::string key = c.workload;
+    if (std::string(c.label) == "full RUPAM") baselines[key] = makespan;
+    double rel = makespan / baselines[key];
+    table.add_row({c.label, c.workload, format_fixed(makespan, 1),
+                   format_fixed(rel, 2) + "x"});
+  }
+  table.print(std::cout);
+
+  // Res_factor sensitivity sweep (Algorithm 1's only tunable).
+  std::cout << "\nRes_factor sensitivity (LR):\n";
+  TextTable sweep({"Res_factor", "Makespan (s)"});
+  for (double rf : {1.2, 1.5, 2.0, 3.0, 4.0}) {
+    sweep.add_row({format_number(rf), format_fixed(run_with("LR", full, reps, rf), 1)});
+  }
+  sweep.print(std::cout);
+  std::cout << "\nReading: >1.0x means removing the mechanism slows the workload down.\n";
+  return 0;
+}

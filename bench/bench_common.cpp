@@ -1,0 +1,33 @@
+#include "bench_common.hpp"
+
+namespace rupam::bench {
+
+void print_header(const std::string& artifact, const std::string& description) {
+  std::cout << "==============================================================\n"
+            << artifact << " — " << description << "\n"
+            << "(RUPAM reproduction; simulated Hydra cluster — compare shapes,"
+               " not absolute seconds)\n"
+            << "==============================================================\n";
+}
+
+Comparison compare(const WorkloadPreset& preset, int repetitions, int iterations_override,
+                   bool sample_utilization, bool keep_task_metrics, std::uint64_t base_seed) {
+  ExperimentConfig cfg;
+  cfg.repetitions = repetitions;
+  cfg.iterations_override = iterations_override;
+  cfg.sample_utilization = sample_utilization;
+  cfg.keep_task_metrics = keep_task_metrics;
+  cfg.base_seed = base_seed;
+  Comparison out;
+  cfg.scheduler = SchedulerKind::kSpark;
+  out.spark = run_experiment(preset, cfg);
+  cfg.scheduler = SchedulerKind::kRupam;
+  out.rupam = run_experiment(preset, cfg);
+  return out;
+}
+
+std::string gb(double bytes) { return format_fixed(bytes / kGiB, 2); }
+
+std::string pct(double fraction) { return format_fixed(fraction * 100.0, 1); }
+
+}  // namespace rupam::bench

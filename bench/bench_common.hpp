@@ -1,0 +1,30 @@
+// Shared helpers for the per-figure/table benchmark harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "metrics/experiment.hpp"
+
+namespace rupam::bench {
+
+/// Standard banner: which paper artifact this binary regenerates.
+void print_header(const std::string& artifact, const std::string& description);
+
+/// Spark + RUPAM experiment pair on the Hydra cluster with the paper's
+/// 5-repetition protocol.
+struct Comparison {
+  ExperimentResult spark;
+  ExperimentResult rupam;
+  double speedup() const { return spark.mean_makespan() / rupam.mean_makespan(); }
+};
+
+Comparison compare(const WorkloadPreset& preset, int repetitions = 5,
+                   int iterations_override = 0, bool sample_utilization = false,
+                   bool keep_task_metrics = false, std::uint64_t base_seed = 1);
+
+std::string gb(double bytes);
+std::string pct(double fraction);
+
+}  // namespace rupam::bench

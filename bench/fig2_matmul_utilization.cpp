@@ -1,0 +1,67 @@
+// Fig 2: system resource utilization while multiplying two 4K x 4K
+// matrices (the §II-B motivational study). Prints the CPU / memory /
+// network / disk time series sampled once per simulated second.
+#include "app/simulation.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rupam;
+  bench::print_header("Fig 2", "Resource utilization under 4K x 4K matrix multiplication");
+
+  SimulationConfig cfg;
+  cfg.scheduler = SchedulerKind::kSpark;
+  cfg.nodes = {};  // Hydra; the paper used its 2-node testbed, same shape
+  cfg.sample_utilization = true;
+  cfg.sample_period = 1.0;
+  Simulation sim(cfg);
+
+  WorkloadParams params;
+  params.input_gb = 0.125;  // 4Kx4K doubles = 128 MiB per matrix
+  params.seed = 1;
+  params.placement_weights = hdfs_placement_weights(sim.cluster());
+  Application app = make_matmul(sim.cluster().node_ids(), params);
+  SimTime makespan = sim.run(app);
+  const UtilizationSampler* sampler = sim.sampler();
+
+  std::cout << "makespan: " << format_fixed(makespan, 1) << " s\n\n";
+  std::cout << "t(s)  cpu(%)  mem(GB)  net(MB/s)  disk(MB/s)\n";
+  auto horizon = makespan;
+  auto n = sim.cluster().size();
+  auto cpu = sampler->cpu_series(horizon);
+  std::vector<std::vector<double>> mem, net, disk;
+  for (NodeId id : sim.cluster().node_ids()) {
+    mem.push_back(sampler->memory_used(id).resample(1.0, horizon));
+    net.push_back(sampler->net_rate(id).resample(1.0, horizon));
+    disk.push_back(sampler->disk_rate(id).resample(1.0, horizon));
+  }
+  std::size_t buckets = cpu[0].size();
+  std::size_t cpu_peak_t = 0, net_peak_t = 0;
+  double cpu_peak = 0.0, net_peak = 0.0, net_first = 0.0, net_mid = 0.0, net_last = 0.0;
+  for (std::size_t t = 0; t < buckets; ++t) {
+    double c = 0.0, m = 0.0, nn = 0.0, d = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      c += cpu[i][t];
+      m += mem[i][t];
+      nn += net[i][t];
+      d += disk[i][t];
+    }
+    c = c / static_cast<double>(n) * 100.0;
+    std::cout << t << "  " << format_fixed(c, 1) << "  " << format_fixed(m / kGiB, 1) << "  "
+              << format_fixed(nn / kMiB, 1) << "  " << format_fixed(d / kMiB, 1) << "\n";
+    if (c > cpu_peak) cpu_peak = c, cpu_peak_t = t;
+    if (nn > net_peak) net_peak = nn, net_peak_t = t;
+    if (t < buckets / 4) net_first += nn;
+    if (t >= buckets / 4 && t < 3 * buckets / 4) net_mid += nn;
+    if (t >= 3 * buckets / 4) net_last += nn;
+  }
+
+  std::cout << "\nPaper shape: CPU spikes at the start (partitioning) and is highest in the\n"
+               "final multiply stages; memory stays high with an initial slope; the network\n"
+               "shows spikes at the beginning and end (shuffle/reduce); disk writes visible\n"
+               "at shuffles, reads low.\n";
+  std::cout << "[shape] CPU peaks in the multiply phase at t=" << cpu_peak_t << "/" << buckets
+            << " ("  << format_fixed(cpu_peak, 0) << "%); network peak at t=" << net_peak_t
+            << "; edge-vs-middle network ratio: "
+            << format_fixed((net_first + net_last) / std::max(1.0, 2.0 * net_mid), 2) << "\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig 3: task distribution and execution breakdown of PageRank on the
+// two-node motivational cluster (node-1: 1.6 GHz CPU + 1 GbE; node-2:
+// 2.4 GHz + 10 GbE) under the default Spark scheduler. Shows per-task
+// compute/shuffle/serialization/scheduler-delay and the skewed, capability
+// -blind task assignment the paper motivates RUPAM with.
+#include "app/simulation.hpp"
+#include "bench_common.hpp"
+#include "cluster/presets.hpp"
+#include "metrics/breakdown.hpp"
+
+int main() {
+  using namespace rupam;
+  bench::print_header("Fig 3", "PageRank task breakdown on the 2-node motivation cluster");
+
+  SimulationConfig cfg;
+  cfg.scheduler = SchedulerKind::kSpark;
+  cfg.switch_bandwidth = gbit_per_s(10.0);  // so the NIC asymmetry matters
+  {
+    Simulator probe_sim;
+    Cluster probe(probe_sim, gbit_per_s(10.0));
+    build_motivation_pair(probe);
+    for (NodeId id : probe.node_ids()) cfg.nodes.push_back(probe.node(id).spec());
+  }
+  Simulation sim(cfg);
+
+  WorkloadParams params;
+  params.input_gb = 2.0;  // the paper's 2 GB PageRank input
+  params.iterations = 1;
+  params.seed = 1;
+  params.placement_weights = hdfs_placement_weights(sim.cluster());
+  Application app = make_pagerank(sim.cluster().node_ids(), params);
+  sim.run(app);
+
+  // One representative stage: the first pr-contrib stage.
+  std::array<int, 2> task_count{0, 0};
+  std::array<double, 2> compute{0.0, 0.0}, shuffle{0.0, 0.0};
+  std::cout << "task  node    compute  shuffle  serialization  sched-delay  (seconds)\n";
+  for (const auto& m : sim.scheduler().completed()) {
+    if (m.stage_name != "pr-contrib" || m.stage > 2) continue;
+    TaskBreakdown b = task_breakdown(m);
+    task_count[static_cast<std::size_t>(m.node)]++;
+    compute[static_cast<std::size_t>(m.node)] += b.compute;
+    shuffle[static_cast<std::size_t>(m.node)] += b.shuffle;
+    std::cout << m.task << "  node-" << (m.node + 1) << "  " << format_fixed(b.compute, 2)
+              << "  " << format_fixed(b.shuffle, 2) << "  "
+              << format_fixed(b.serialization, 2) << "  "
+              << format_fixed(b.scheduler_delay, 2) << "\n";
+  }
+
+  std::cout << "\nTask distribution: node-1 = " << task_count[0]
+            << " tasks, node-2 = " << task_count[1] << " tasks (paper: uneven)\n";
+  auto avg = [](double sum, int n) { return n > 0 ? sum / n : 0.0; };
+  std::cout << "avg compute: node-1 " << format_fixed(avg(compute[0], task_count[0]), 2)
+            << "s vs node-2 " << format_fixed(avg(compute[1], task_count[1]), 2)
+            << "s  (node-1's cores are 1.6 GHz vs 2.4 GHz: locality-blind placement\n"
+               "   makes compute seconds pile up on the slow node)\n";
+  std::cout << "avg shuffle: node-1 " << format_fixed(avg(shuffle[0], task_count[0]), 2)
+            << "s vs node-2 " << format_fixed(avg(shuffle[1], task_count[1]), 2)
+            << "s  (the shuffle-heavy tasks land by locality, not NIC speed)\n";
+  std::cout << "\nPaper shape: tasks in one stage differ widely (up to ~31x); Spark assigns\n"
+               "tasks by locality only, so compute-heavy tasks crowd the slow-CPU node and\n"
+               "shuffle-heavy tasks the slow-network node, with uneven counts.\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Table II: specifications of Hydra cluster nodes.
+#include "bench_common.hpp"
+#include "cluster/presets.hpp"
+
+int main() {
+  using namespace rupam;
+  bench::print_header("Table II", "Specifications of Hydra cluster nodes");
+
+  Simulator sim;
+  Cluster cluster(sim);
+  build_hydra(cluster);
+
+  TextTable table({"Name", "CPU (GHz)", "Cores", "Memory (GB)", "Network (GbE)", "SSD", "GPU",
+                   "#"});
+  for (const std::string cls : {"thor", "hulk", "stack"}) {
+    auto ids = cluster.nodes_of_class(cls);
+    const NodeSpec& s = cluster.node(ids.front()).spec();
+    table.add_row({cls, format_number(s.cpu_ghz), std::to_string(s.cores),
+                   format_number(to_gib(s.memory)), format_number(s.net_bandwidth * 8.0 / 1e9),
+                   s.has_ssd ? "Y" : "N", s.gpus > 0 ? "Y" : "N",
+                   std::to_string(ids.size())});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper: 6x thor (8-core, 16 GB, SSD), 4x hulk (32-core, 64 GB, 10 GbE),\n"
+               "2x stack (16-core, 48 GB, NVIDIA Tesla GPU); 12 workers + master.\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Table III: studied workloads and input sizes.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rupam;
+  bench::print_header("Table III", "Studied workloads and input sizes");
+
+  std::vector<NodeId> nodes(12);
+  for (int i = 0; i < 12; ++i) nodes[static_cast<std::size_t>(i)] = i;
+
+  TextTable table({"Workload", "Input size (GB)", "Iterations/queries", "Jobs", "Tasks"});
+  for (const auto& preset : table3_workloads()) {
+    Application app = build_workload(preset, nodes, 1);
+    table.add_row({preset.long_name + " (" + preset.name + ")", format_number(preset.input_gb),
+                   std::to_string(preset.iterations), std::to_string(app.jobs.size()),
+                   std::to_string(app.total_tasks())});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper inputs: LR 6, TeraSort 40, SQL 35, PR 0.95 (500K vertices),\n"
+               "TC 0.95 (500K vertices), GM 0.96 (8K x 8K matrix), KMeans 3.7 GB.\n";
+  return 0;
+}

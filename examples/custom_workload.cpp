@@ -1,0 +1,92 @@
+// Example: describe your own application with StageProfile/JobProfile and
+// watch RUPAM characterize it — a mixed ETL pipeline where an I/O-bound
+// ingest, a CPU-bound transform, and a network-bound aggregation run as
+// one job per day of input.
+//
+//   ./custom_workload [days]
+#include <cstdlib>
+#include <iostream>
+
+#include "app/simulation.hpp"
+#include "common/table.hpp"
+#include "workloads/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rupam;
+  int days = argc > 1 ? std::atoi(argv[1]) : 6;
+
+  std::cout << "Custom ETL pipeline: ingest (I/O) -> transform (CPU) -> aggregate (net),\n"
+            << days << " daily runs. Stage names repeat, so RUPAM's DB_task_char warms up.\n\n";
+
+  TextTable table({"Scheduler", "Makespan (s)", "First transform (s)", "Last transform (s)"});
+  for (auto kind : {SchedulerKind::kSpark, SchedulerKind::kRupam}) {
+    SimulationConfig cfg;
+    cfg.scheduler = kind;
+    Simulation sim(cfg);
+
+    WorkloadBuilder builder(sim.cluster().node_ids(), /*seed=*/3,
+                            hdfs_placement_weights(sim.cluster()));
+    Application app;
+    app.name = "etl";
+    for (int day = 0; day < days; ++day) {
+      JobProfile job;
+      job.name = "etl-day-" + std::to_string(day);
+
+      StageProfile ingest;
+      ingest.name = "etl-ingest";  // stable names across days
+      ingest.num_tasks = 96;
+      ingest.reads_blocks = true;
+      ingest.input_bytes = 96.0 * kMiB;
+      ingest.compute = 3.0;
+      ingest.shuffle_write_bytes = 48.0 * kMiB;
+      ingest.peak_memory = 384.0 * kMiB;
+      ingest.skew_cv = 0.25;
+      job.stages.push_back(ingest);
+
+      StageProfile transform;
+      transform.name = "etl-transform";
+      transform.num_tasks = 96;
+      transform.shuffle_read_bytes = 48.0 * kMiB;
+      transform.compute = 24.0;
+      transform.peak_memory = 512.0 * kMiB;
+      transform.shuffle_write_bytes = 8.0 * kMiB;
+      transform.skew_cv = 0.3;
+      transform.heavy_tail = 0.06;
+      transform.parents = {0};
+      job.stages.push_back(transform);
+
+      StageProfile aggregate;
+      aggregate.name = "etl-aggregate";
+      aggregate.num_tasks = 24;
+      aggregate.is_shuffle_map = false;
+      aggregate.shuffle_read_bytes = 32.0 * kMiB;
+      aggregate.compute = 2.0;
+      aggregate.output_bytes = 8.0 * kMiB;
+      aggregate.peak_memory = 256.0 * kMiB;
+      aggregate.parents = {1};
+      job.stages.push_back(aggregate);
+      builder.add_job(app, job);
+    }
+    app.validate();
+
+    SimTime makespan = sim.run(app);
+    // Per-day window from the transform stages.
+    std::map<JobId, std::pair<SimTime, SimTime>> windows;
+    for (const auto& m : sim.scheduler().completed()) {
+      if (m.stage_name != "etl-transform") continue;  // the learnable stage
+      JobId day = m.stage / 3;  // stage ids are allocated in job order
+      auto [it, fresh] = windows.try_emplace(day, m.launch_time, m.finish_time);
+      it->second.first = std::min(it->second.first, m.launch_time);
+      it->second.second = std::max(it->second.second, m.finish_time);
+    }
+    double first = windows.begin()->second.second - windows.begin()->second.first;
+    double last = windows.rbegin()->second.second - windows.rbegin()->second.first;
+    table.add_row({sim.scheduler().name(), format_fixed(makespan, 1), format_fixed(first, 1),
+                   format_fixed(last, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: RUPAM runs the CPU-bound transform stages faster than default\n"
+               "Spark once DB_task_char has characterized them (compare the per-day\n"
+               "transform windows above).\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Example: build a *custom* heterogeneous cluster, run a memory-hungry
+// graph workload on it under both schedulers, and inspect what happened —
+// OOM kills, executor losses, locality trade-offs, utilization.
+//
+//   ./heterogeneous_cluster_tour [fat_nodes] [thin_nodes]
+//
+// Demonstrates the public API surface beyond the built-in Hydra preset:
+// NodeSpec construction, SimulationConfig, per-run metrics, and the
+// utilization sampler.
+#include <cstdlib>
+#include <iostream>
+
+#include "app/simulation.hpp"
+#include "common/table.hpp"
+#include "metrics/locality_counter.hpp"
+#include "workloads/presets.hpp"
+
+namespace {
+
+rupam::NodeSpec fat_node(int index) {
+  rupam::NodeSpec s;
+  s.name = "fat" + std::to_string(index);
+  s.node_class = "fat";
+  s.cores = 48;
+  s.cpu_ghz = 2.2;
+  s.cpu_perf = 1.2;
+  s.memory = 128 * rupam::kGiB;
+  s.net_bandwidth = rupam::gbit_per_s(10.0);
+  s.has_ssd = false;
+  s.disk_capacity = 4096 * rupam::kGiB;
+  return s;
+}
+
+rupam::NodeSpec thin_node(int index) {
+  rupam::NodeSpec s;
+  s.name = "thin" + std::to_string(index);
+  s.node_class = "thin";
+  s.cores = 4;
+  s.cpu_ghz = 3.8;
+  s.cpu_perf = 3.0;
+  s.memory = 8 * rupam::kGiB;  // memory-starved: OOM territory for Spark
+  s.net_bandwidth = rupam::gbit_per_s(1.0);
+  s.has_ssd = true;
+  s.disk_capacity = 256 * rupam::kGiB;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rupam;
+  int fats = argc > 1 ? std::atoi(argv[1]) : 3;
+  int thins = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  std::cout << "Custom cluster: " << fats << " fat (48-core/128 GB/HDD) + " << thins
+            << " thin (4-core fast/8 GB/SSD) nodes\n"
+            << "Workload: PageRank (memory-heavy joins over a cached graph)\n\n";
+
+  TextTable table({"Scheduler", "Makespan (s)", "OOM kills", "Exec losses", "PROCESS", "ANY",
+                   "Avg CPU %", "Avg mem (GB)"});
+  for (auto kind : {SchedulerKind::kSpark, SchedulerKind::kRupam}) {
+    SimulationConfig cfg;
+    cfg.scheduler = kind;
+    cfg.sample_utilization = true;
+    for (int i = 0; i < fats; ++i) cfg.nodes.push_back(fat_node(i));
+    for (int i = 0; i < thins; ++i) cfg.nodes.push_back(thin_node(i));
+
+    Simulation sim(cfg);
+    Application app = build_workload(workload_preset("PR"), sim.cluster().node_ids(),
+                                     /*seed=*/11, /*iterations=*/3,
+                                     hdfs_placement_weights(sim.cluster()));
+    SimTime makespan = sim.run(app);
+    LocalityCounts locality = count_locality(sim.scheduler().completed());
+    table.add_row({sim.scheduler().name(), format_fixed(makespan, 1),
+                   std::to_string(sim.total_oom_kills()),
+                   std::to_string(sim.total_executor_losses()),
+                   std::to_string(locality[0]), std::to_string(locality[3]),
+                   format_fixed(sim.sampler()->avg_cpu_util() * 100.0, 1),
+                   format_fixed(sim.sampler()->avg_memory_used() / kGiB, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: default Spark sizes every executor for the 8 GB thin nodes and\n"
+               "packs tasks by cores; RUPAM sizes executors per node, guards memory at\n"
+               "dispatch, and steers the heavy join tasks to the fat nodes.\n";
+  return 0;
+}

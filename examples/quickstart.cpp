@@ -1,0 +1,39 @@
+// Quickstart: run one workload under both schedulers and compare.
+//
+//   ./quickstart [workload] [iterations]
+//
+// Workloads: LR, TeraSort, SQL, PR, TC, GM, KMeans (paper Table III).
+#include <cstdlib>
+#include <iostream>
+
+#include "app/simulation.hpp"
+#include "common/table.hpp"
+#include "workloads/presets.hpp"
+
+int main(int argc, char** argv) {
+  std::string workload = argc > 1 ? argv[1] : "PR";
+  int iterations = argc > 2 ? std::atoi(argv[2]) : 0;
+
+  const rupam::WorkloadPreset& preset = rupam::workload_preset(workload);
+  std::cout << "Workload: " << preset.long_name << " (" << preset.input_gb << " GB)\n\n";
+
+  double spark_time = 0.0, rupam_time = 0.0;
+  for (auto kind : {rupam::SchedulerKind::kSpark, rupam::SchedulerKind::kRupam}) {
+    rupam::SimulationConfig cfg;
+    cfg.scheduler = kind;
+    rupam::Simulation sim(cfg);
+    rupam::Application app =
+        rupam::build_workload(preset, sim.cluster().node_ids(), /*seed=*/1, iterations,
+                              rupam::hdfs_placement_weights(sim.cluster()));
+    double makespan = sim.run(app);
+    (kind == rupam::SchedulerKind::kSpark ? spark_time : rupam_time) = makespan;
+    std::cout << sim.scheduler().name() << ": " << rupam::format_fixed(makespan, 1)
+              << " s  (tasks=" << sim.scheduler().completed().size()
+              << ", failures=" << sim.scheduler().failures().size()
+              << ", OOM kills=" << sim.total_oom_kills()
+              << ", executor losses=" << sim.total_executor_losses() << ")\n";
+  }
+  std::cout << "\nSpeedup (Spark / RUPAM): " << rupam::format_fixed(spark_time / rupam_time, 2)
+            << "x\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Example: head-to-head across all seven Table III workloads with a fixed
+// seed — the quickest way to see where heterogeneity-awareness pays off.
+//
+//   ./scheduler_shootout [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "app/simulation.hpp"
+#include "common/table.hpp"
+#include "workloads/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rupam;
+  std::uint64_t seed = argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
+
+  TextTable table({"Workload", "Spark (s)", "RUPAM (s)", "Speedup", "Spark OOM",
+                   "Spark losses", "RUPAM relocations"});
+  for (const auto& preset : table3_workloads()) {
+    double spark_s = 0.0, rupam_s = 0.0;
+    std::size_t oom = 0, losses = 0, relocations = 0;
+    for (auto kind : {SchedulerKind::kSpark, SchedulerKind::kRupam}) {
+      SimulationConfig cfg;
+      cfg.scheduler = kind;
+      Simulation sim(cfg);
+      Application app = build_workload(preset, sim.cluster().node_ids(), seed, 0,
+                                       hdfs_placement_weights(sim.cluster()));
+      double makespan = sim.run(app);
+      if (kind == SchedulerKind::kSpark) {
+        spark_s = makespan;
+        oom = sim.total_oom_kills();
+        losses = sim.total_executor_losses();
+      } else {
+        rupam_s = makespan;
+        relocations = sim.scheduler().relocations();
+      }
+    }
+    table.add_row({preset.name, format_fixed(spark_s, 1), format_fixed(rupam_s, 1),
+                   format_fixed(spark_s / rupam_s, 2) + "x", std::to_string(oom),
+                   std::to_string(losses), std::to_string(relocations)});
+  }
+  table.print(std::cout);
+  return 0;
+}

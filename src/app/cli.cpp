@@ -1,0 +1,179 @@
+#include "app/cli.hpp"
+
+#include <fstream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "metrics/locality_counter.hpp"
+#include "workloads/presets.hpp"
+
+namespace rupam {
+
+std::string cli_usage() {
+  return "usage: rupam_sim [options]\n"
+         "  --workload NAME        LR|TeraSort|SQL|PR|TC|GM|KMeans (default PR)\n"
+         "  --scheduler NAME       spark|rupam|stageaware|fifo (default rupam)\n"
+         "  --iterations N         override the preset iteration count\n"
+         "  --repetitions N        seeded repetitions, reports mean +- 95% CI\n"
+         "  --seed N               base seed (default 1)\n"
+         "  --sample               sample per-node utilization\n"
+         "  --trace-csv PATH       dump the scheduling event trace as CSV\n"
+         "  --trace-chrome PATH    dump a chrome://tracing JSON timeline\n"
+         "  --list                 list available workloads\n"
+         "  --help                 this text\n";
+}
+
+std::optional<SchedulerKind> scheduler_from_name(const std::string& name) {
+  if (name == "spark") return SchedulerKind::kSpark;
+  if (name == "rupam") return SchedulerKind::kRupam;
+  if (name == "stageaware") return SchedulerKind::kStageAware;
+  if (name == "fifo") return SchedulerKind::kFifo;
+  return std::nullopt;
+}
+
+std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::ostream& err) {
+  CliOptions opts;
+  auto need_value = [&](std::size_t i) -> bool {
+    if (i + 1 >= args.size()) {
+      err << "missing value for " << args[i] << "\n";
+      return false;
+    }
+    return true;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      opts.help = true;
+    } else if (a == "--list") {
+      opts.list_workloads = true;
+    } else if (a == "--sample") {
+      opts.sample_utilization = true;
+    } else if (a == "--workload") {
+      if (!need_value(i)) return std::nullopt;
+      opts.workload = args[++i];
+    } else if (a == "--scheduler") {
+      if (!need_value(i)) return std::nullopt;
+      auto kind = scheduler_from_name(args[++i]);
+      if (!kind) {
+        err << "unknown scheduler '" << args[i] << "'\n";
+        return std::nullopt;
+      }
+      opts.scheduler = *kind;
+    } else if (a == "--iterations") {
+      if (!need_value(i)) return std::nullopt;
+      opts.iterations = std::atoi(args[++i].c_str());
+      if (opts.iterations < 0) {
+        err << "iterations must be >= 0\n";
+        return std::nullopt;
+      }
+    } else if (a == "--repetitions") {
+      if (!need_value(i)) return std::nullopt;
+      opts.repetitions = std::atoi(args[++i].c_str());
+      if (opts.repetitions < 1) {
+        err << "repetitions must be >= 1\n";
+        return std::nullopt;
+      }
+    } else if (a == "--seed") {
+      if (!need_value(i)) return std::nullopt;
+      opts.seed = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+    } else if (a == "--trace-csv") {
+      if (!need_value(i)) return std::nullopt;
+      opts.trace_csv = args[++i];
+    } else if (a == "--trace-chrome") {
+      if (!need_value(i)) return std::nullopt;
+      opts.trace_chrome = args[++i];
+    } else {
+      err << "unknown argument '" << a << "'\n";
+      return std::nullopt;
+    }
+  }
+  return opts;
+}
+
+int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  if (options.help) {
+    out << cli_usage();
+    return 0;
+  }
+  if (options.list_workloads) {
+    for (const auto& p : table3_workloads()) {
+      out << p.name << "\t" << p.long_name << "\t" << p.input_gb << " GB\t"
+          << p.iterations << " iterations\n";
+    }
+    return 0;
+  }
+
+  const WorkloadPreset* preset = nullptr;
+  try {
+    preset = &workload_preset(options.workload);
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+
+  RunningStats makespans;
+  LocalityCounts locality{};
+  std::size_t failures = 0, oom = 0, losses = 0, relocations = 0;
+  double cpu = 0.0, mem = 0.0;
+
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    SimulationConfig cfg;
+    cfg.scheduler = options.scheduler;
+    cfg.seed = options.seed + static_cast<std::uint64_t>(rep);
+    cfg.sample_utilization = options.sample_utilization;
+    cfg.enable_trace = !options.trace_csv.empty() || !options.trace_chrome.empty();
+    Simulation sim(cfg);
+    Application app = build_workload(*preset, sim.cluster().node_ids(), cfg.seed,
+                                     options.iterations, hdfs_placement_weights(sim.cluster()));
+    makespans.add(sim.run(app));
+    LocalityCounts counts = count_locality(sim.scheduler().completed());
+    for (int l = 0; l < kNumLocalityLevels; ++l) locality[l] += counts[l];
+    failures += sim.scheduler().failures().size();
+    oom += sim.total_oom_kills();
+    losses += sim.total_executor_losses();
+    relocations += sim.scheduler().relocations();
+    if (const UtilizationSampler* s = sim.sampler()) {
+      cpu += s->avg_cpu_util();
+      mem += s->avg_memory_used();
+    }
+    // Traces come from the last repetition.
+    if (rep == options.repetitions - 1 && sim.trace() != nullptr) {
+      if (!options.trace_csv.empty()) {
+        std::ofstream f(options.trace_csv);
+        if (!f) {
+          err << "cannot open " << options.trace_csv << "\n";
+          return 2;
+        }
+        sim.trace()->write_csv(f);
+      }
+      if (!options.trace_chrome.empty()) {
+        std::ofstream f(options.trace_chrome);
+        if (!f) {
+          err << "cannot open " << options.trace_chrome << "\n";
+          return 2;
+        }
+        sim.trace()->write_chrome_tracing(f);
+      }
+    }
+  }
+
+  out << preset->long_name << " under " << to_string(options.scheduler) << " ("
+      << options.repetitions << " run" << (options.repetitions > 1 ? "s" : "") << ")\n";
+  out << "makespan: " << format_fixed(makespans.mean(), 1) << " s";
+  if (options.repetitions > 1) {
+    out << " +- " << format_fixed(confidence_interval_95(makespans.stddev(), makespans.count()), 1)
+        << " (95% CI)";
+  }
+  out << "\nlocality: PROCESS=" << locality[0] << " NODE=" << locality[1]
+      << " RACK=" << locality[2] << " ANY=" << locality[3] << "\n"
+      << "failures=" << failures << " oom_kills=" << oom << " executor_losses=" << losses
+      << " relocations=" << relocations << "\n";
+  if (options.sample_utilization) {
+    double n = static_cast<double>(options.repetitions);
+    out << "avg cpu=" << format_fixed(cpu / n * 100.0, 1)
+        << "% avg mem=" << format_fixed(mem / n / kGiB, 1) << " GB\n";
+  }
+  return 0;
+}
+
+}  // namespace rupam

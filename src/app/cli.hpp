@@ -1,0 +1,42 @@
+// Command-line driver behind the `rupam_sim` tool: parse arguments, run
+// one (workload, scheduler) simulation, print a report, optionally dump
+// traces. Kept in the library so it is unit-testable.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "app/simulation.hpp"
+
+namespace rupam {
+
+struct CliOptions {
+  std::string workload = "PR";  // Table III short name
+  SchedulerKind scheduler = SchedulerKind::kRupam;
+  int iterations = 0;  // 0 = preset default
+  int repetitions = 1;
+  std::uint64_t seed = 1;
+  bool sample_utilization = false;
+  std::string trace_csv;     // write the event trace here if non-empty
+  std::string trace_chrome;  // chrome://tracing JSON path
+  bool list_workloads = false;
+  bool help = false;
+};
+
+/// Parse argv. Returns std::nullopt and writes a message to `err` on
+/// invalid input. Recognized flags:
+///   --workload NAME --scheduler spark|rupam|stageaware|fifo
+///   --iterations N --repetitions N --seed N --sample
+///   --trace-csv PATH --trace-chrome PATH --list --help
+std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::ostream& err);
+
+std::optional<SchedulerKind> scheduler_from_name(const std::string& name);
+
+/// Run per the options; returns the process exit code.
+int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err);
+
+std::string cli_usage();
+
+}  // namespace rupam

@@ -1,0 +1,157 @@
+#include "app/simulation.hpp"
+
+#include <stdexcept>
+
+#include "cluster/presets.hpp"
+#include "common/log.hpp"
+
+namespace rupam {
+
+std::string_view to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kSpark: return "Spark";
+    case SchedulerKind::kRupam: return "RUPAM";
+    case SchedulerKind::kStageAware: return "StageAware";
+    case SchedulerKind::kFifo: return "FIFO";
+  }
+  return "?";
+}
+
+std::vector<double> hdfs_placement_weights(const Cluster& cluster) {
+  std::vector<double> weights;
+  weights.reserve(cluster.size());
+  for (NodeId id : cluster.node_ids()) {
+    weights.push_back(cluster.node(id).spec().disk_capacity / kGiB);
+  }
+  return weights;
+}
+
+Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
+  cluster_ = std::make_unique<Cluster>(sim_, config_.switch_bandwidth);
+  if (config_.nodes.empty()) {
+    build_hydra(*cluster_);
+  } else {
+    for (const auto& spec : config_.nodes) cluster_->add_node(spec);
+  }
+
+  // Executor sizing policy — the lever behind Fig 8(b)'s memory numbers:
+  // default Spark must fit the weakest node everywhere; RUPAM sizes each
+  // executor to its node.
+  Bytes static_heap =
+      std::max(1.0 * kGiB, cluster_->min_node_memory() - config_.executor_memory_headroom);
+  Rng rng(config_.seed, 0x2545f4914f6cdd1dULL);
+  for (NodeId id : cluster_->node_ids()) {
+    Node& node = cluster_->node(id);
+    ExecutorConfig ec;
+    ec.heap = config_.scheduler == SchedulerKind::kRupam
+                  ? std::max(1.0 * kGiB, node.spec().memory - config_.executor_memory_headroom)
+                  : static_heap;
+    ec.storage_fraction = config_.storage_fraction;
+    ec.task_slots = node.spec().cores;
+    ec.gc = config_.gc;
+    ec.oom_grace = config_.oom_grace;
+    executors_.push_back(std::make_unique<Executor>(sim_, node, id, ec, rng.split()));
+  }
+
+  for (auto& e : executors_) {
+    e->set_peer_cache_probe([this, self = e.get()](const std::string& key) {
+      for (const auto& other : executors_) {
+        if (other.get() != self && other->cache().contains(key)) return true;
+      }
+      return false;
+    });
+  }
+
+  SchedulerEnv env;
+  env.sim = &sim_;
+  env.cluster = cluster_.get();
+  for (auto& e : executors_) env.executors.push_back(e.get());
+
+  switch (config_.scheduler) {
+    case SchedulerKind::kRupam: {
+      auto sched = std::make_unique<RupamScheduler>(env, config_.rupam);
+      rupam_ = sched.get();
+      scheduler_ = std::move(sched);
+      break;
+    }
+    case SchedulerKind::kStageAware:
+      scheduler_ = std::make_unique<CapabilityScheduler>(env);
+      break;
+    case SchedulerKind::kFifo:
+      scheduler_ = std::make_unique<FifoScheduler>(env);
+      break;
+    case SchedulerKind::kSpark:
+      scheduler_ = std::make_unique<SparkScheduler>(env, config_.spark);
+      break;
+  }
+  scheduler_->configure_speculation(config_.speculation);
+
+  heartbeats_ = std::make_unique<HeartbeatService>(*cluster_, config_.heartbeat_period);
+  heartbeats_->subscribe(
+      [this](const NodeMetrics& metrics) { scheduler_->on_heartbeat(metrics); });
+
+  dag_ = std::make_unique<DagScheduler>(
+      sim_, [this](const TaskSet& set) { scheduler_->submit(set); });
+  scheduler_->set_partition_success_handler(
+      [this](StageId stage, int partition, const TaskMetrics&) {
+        dag_->on_partition_success(stage, partition);
+      });
+
+  if (config_.sample_utilization) {
+    sampler_ = std::make_unique<UtilizationSampler>(*cluster_, config_.sample_period);
+  }
+  if (config_.enable_trace) {
+    trace_ = std::make_unique<EventTrace>();
+    scheduler_->set_trace(trace_.get());
+  }
+}
+
+Simulation::~Simulation() {
+  if (heartbeats_) heartbeats_->stop();
+  if (sampler_) sampler_->stop();
+}
+
+SimTime Simulation::run(const Application& app) {
+  app.validate();
+  SimTime started = sim_.now();
+  bool done = false;
+  SimTime finished_at = 0.0;
+  heartbeats_->start();
+  if (sampler_) sampler_->start();
+  dag_->run(app, [&] {
+    done = true;
+    finished_at = sim_.now();
+  });
+  std::size_t steps = 0;
+  while (!done) {
+    if (!sim_.step()) {
+      throw std::runtime_error("Simulation: event queue drained before completion");
+    }
+    if (sim_.now() - started > config_.max_sim_time) {
+      throw std::runtime_error("Simulation: exceeded max_sim_time — likely unschedulable");
+    }
+    if (++steps % 10000000 == 0) {
+      RUPAM_WARN(sim_.now(), "simulation still running after ", steps, " events (t=",
+                 sim_.now(), "s) — possible scheduling livelock");
+    }
+  }
+  heartbeats_->stop();
+  if (sampler_) sampler_->stop();
+  RUPAM_INFO(sim_.now(), scheduler_->name(), " finished '", app.name, "' in ",
+             finished_at - started, "s");
+  return finished_at - started;
+}
+
+std::size_t Simulation::total_oom_kills() const {
+  std::size_t n = 0;
+  for (const auto& e : executors_) n += e->oom_kills();
+  return n;
+}
+
+std::size_t Simulation::total_executor_losses() const {
+  std::size_t n = 0;
+  for (const auto& e : executors_) n += e->executor_losses();
+  return n;
+}
+
+}  // namespace rupam

@@ -1,0 +1,113 @@
+// Public façade: wire a cluster, executors, a scheduler, heartbeats and
+// samplers together and run one Spark application to completion.
+//
+//   rupam::SimulationConfig cfg;
+//   cfg.scheduler = rupam::SchedulerKind::kRupam;   // or kSpark
+//   rupam::Simulation sim(cfg);                      // 12-node Hydra default
+//   auto app = rupam::build_workload(rupam::workload_preset("PR"),
+//                                    sim.cluster().node_ids(), /*seed=*/1);
+//   rupam::SimTime makespan = sim.run(app);
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/heartbeat.hpp"
+#include "dag/dag_scheduler.hpp"
+#include "exec/executor.hpp"
+#include "metrics/utilization_sampler.hpp"
+#include "sched/baselines/capability_scheduler.hpp"
+#include "sched/baselines/fifo_scheduler.hpp"
+#include "sched/rupam/rupam_scheduler.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/spark/spark_scheduler.hpp"
+
+namespace rupam {
+
+enum class SchedulerKind {
+  kSpark,       // the paper's baseline: locality-only, per-core slots
+  kRupam,       // the paper's contribution
+  kStageAware,  // prior-work proxy: heterogeneity-aware, stage-granular
+  kFifo,        // oblivious lower bound
+};
+
+std::string_view to_string(SchedulerKind kind);
+
+/// HDFS-style block placement weights: proportional to each node's
+/// storage capacity (pass to build_workload).
+std::vector<double> hdfs_placement_weights(const Cluster& cluster);
+
+struct SimulationConfig {
+  SchedulerKind scheduler = SchedulerKind::kSpark;
+
+  /// Cluster layout; empty = the paper's 12-node Hydra cluster.
+  std::vector<NodeSpec> nodes;
+  Bytes switch_bandwidth = gbit_per_s(1.0);
+
+  /// Default Spark sizes every executor for the weakest node; RUPAM sizes
+  /// per node ("dynamic executor memory", §III-C2). Both leave this much
+  /// headroom for OS+JVM overhead.
+  Bytes executor_memory_headroom = 2.0 * kGiB;
+  double storage_fraction = 0.3;
+  GcModelParams gc;
+  /// GC-thrash window before an overfilled executor resolves (OOM/loss).
+  SimTime oom_grace = 2.0;
+
+  SimTime heartbeat_period = 1.0;
+  SpeculationConfig speculation;
+  RupamConfig rupam;
+  SparkScheduler::Config spark;
+
+  bool sample_utilization = false;
+  SimTime sample_period = 1.0;
+  /// Record a structured scheduling-event trace (CSV / chrome-tracing
+  /// exportable via Simulation::trace()).
+  bool enable_trace = false;
+
+  /// Safety valve: abort runs that exceed this much simulated time.
+  SimTime max_sim_time = 48.0 * 3600.0;
+
+  std::uint64_t seed = 1;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig config);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Run `app` to completion; returns the makespan in simulated seconds.
+  /// Throws std::runtime_error if max_sim_time is exceeded.
+  SimTime run(const Application& app);
+
+  Simulator& sim() { return sim_; }
+  Cluster& cluster() { return *cluster_; }
+  SchedulerBase& scheduler() { return *scheduler_; }
+  /// Non-null when the scheduler is RUPAM.
+  RupamScheduler* rupam_scheduler() { return rupam_; }
+  Executor& executor(NodeId node) { return *executors_.at(static_cast<std::size_t>(node)); }
+  const UtilizationSampler* sampler() const { return sampler_.get(); }
+  /// Non-null when enable_trace was set.
+  const EventTrace* trace() const { return trace_.get(); }
+
+  std::size_t total_oom_kills() const;
+  std::size_t total_executor_losses() const;
+
+ private:
+  SimulationConfig config_;
+  Simulator sim_;
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<std::unique_ptr<Executor>> executors_;
+  std::unique_ptr<HeartbeatService> heartbeats_;
+  std::unique_ptr<SchedulerBase> scheduler_;
+  RupamScheduler* rupam_ = nullptr;
+  std::unique_ptr<DagScheduler> dag_;
+  std::unique_ptr<UtilizationSampler> sampler_;
+  std::unique_ptr<EventTrace> trace_;
+};
+
+}  // namespace rupam

@@ -1,0 +1,53 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+namespace rupam {
+
+Cluster::Cluster(Simulator& sim, Bytes switch_bandwidth)
+    : sim_(sim), switch_bandwidth_(switch_bandwidth) {
+  if (switch_bandwidth <= 0.0) throw std::invalid_argument("Cluster: bad switch bandwidth");
+}
+
+NodeId Cluster::add_node(NodeSpec spec) {
+  auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(sim_, id, std::move(spec), switch_bandwidth_));
+  return id;
+}
+
+Node& Cluster::node(NodeId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+    throw std::out_of_range("Cluster::node: bad id");
+  }
+  return *nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node& Cluster::node(NodeId id) const {
+  return const_cast<Cluster*>(this)->node(id);
+}
+
+std::vector<NodeId> Cluster::node_ids() const {
+  std::vector<NodeId> ids(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) ids[i] = static_cast<NodeId>(i);
+  return ids;
+}
+
+std::vector<NodeId> Cluster::nodes_of_class(const std::string& node_class) const {
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->spec().node_class == node_class) ids.push_back(static_cast<NodeId>(i));
+  }
+  return ids;
+}
+
+Bytes Cluster::min_node_memory() const {
+  Bytes m = 0.0;
+  bool first = true;
+  for (const auto& n : nodes_) {
+    if (first || n->spec().memory < m) m = n->spec().memory;
+    first = false;
+  }
+  return m;
+}
+
+}  // namespace rupam

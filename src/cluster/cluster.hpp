@@ -1,0 +1,41 @@
+// A set of simulated nodes behind a shared switch.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "simcore/simulator.hpp"
+
+namespace rupam {
+
+class Cluster {
+ public:
+  /// `switch_bandwidth` caps every NIC's achievable rate (Table IV shows a
+  /// 1 GbE fabric leveling nominally-10GbE hulk nodes to ~940 Mbit/s).
+  Cluster(Simulator& sim, Bytes switch_bandwidth = gbit_per_s(1.0));
+
+  NodeId add_node(NodeSpec spec);
+
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  std::size_t size() const { return nodes_.size(); }
+
+  std::vector<NodeId> node_ids() const;
+  std::vector<NodeId> nodes_of_class(const std::string& node_class) const;
+
+  Simulator& sim() { return sim_; }
+
+  /// Smallest node memory in the cluster — default Spark sizes every
+  /// executor to fit the weakest node (paper §IV: 14 GB for 16 GB thor).
+  Bytes min_node_memory() const;
+
+ private:
+  Simulator& sim_;
+  Bytes switch_bandwidth_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace rupam

@@ -1,0 +1,80 @@
+// Fair-share contention model for a rate-based resource (CPU, NIC, disk).
+//
+// A claim carries an amount of work (core-seconds or bytes) and drains at
+//   rate = speed_factor * min(per_claim_cap, capacity / n_active).
+// Whenever the active set changes, progress is integrated and the earliest
+// completion event is rescheduled. This makes resource contention an
+// emergent property of the simulation — the effect RUPAM exploits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+#include "simcore/simulator.hpp"
+
+namespace rupam {
+
+class FairShareResource {
+ public:
+  using ClaimId = std::uint64_t;
+  using CompletionFn = std::function<void()>;
+
+  /// `capacity` is total units/s; `per_claim_cap` limits what one claim can
+  /// draw (one core for CPU; typically == capacity for NIC/disk).
+  /// `concurrency_penalty` models media whose aggregate throughput DROPS
+  /// under concurrent streams (HDD seek thrash): effective capacity =
+  /// capacity / (1 + penalty * (n_active - 1)). 0 = ideally sharable
+  /// (CPU, NIC, SSD).
+  FairShareResource(Simulator& sim, std::string name, double capacity, double per_claim_cap,
+                    double concurrency_penalty = 0.0);
+
+  /// Begin draining `work` units; `on_complete` fires when it reaches zero.
+  /// `speed_factor` scales this claim's rate (CPU frequency ratio, GPU
+  /// speedup). Zero-work claims complete on the next event.
+  ClaimId start(double work, double speed_factor, CompletionFn on_complete);
+
+  /// Abort a claim (task killed/race lost). No-op if already finished.
+  void cancel(ClaimId id);
+
+  /// Number of in-flight claims.
+  std::size_t active() const { return claims_.size(); }
+  /// Fraction of capacity currently in use, in [0, 1].
+  double utilization() const;
+  /// Aggregate drain rate in units/s (e.g. NIC bytes/s), including speed
+  /// factors — this is what a monitoring agent would measure.
+  double current_rate() const;
+  /// Total units drained since construction.
+  double total_drained();
+
+  double capacity() const { return capacity_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Claim {
+    double remaining;
+    double speed_factor;
+    CompletionFn on_complete;
+  };
+
+  double effective_capacity() const;
+  double share_rate() const;  // capacity-side rate per claim, pre speed factor
+  void integrate_progress();
+  void reschedule();
+  void on_completion_event();
+
+  Simulator& sim_;
+  std::string name_;
+  double capacity_;
+  double per_claim_cap_;
+  double concurrency_penalty_;
+  std::map<ClaimId, Claim> claims_;
+  ClaimId next_id_ = 1;
+  SimTime last_update_ = 0.0;
+  double drained_ = 0.0;
+  EventHandle pending_event_;
+};
+
+}  // namespace rupam

@@ -1,0 +1,16 @@
+#include "cluster/gpu_pool.hpp"
+
+namespace rupam {
+
+bool GpuPool::try_acquire() {
+  if (idle_ == 0) return false;
+  --idle_;
+  return true;
+}
+
+void GpuPool::release() {
+  if (idle_ >= total_) throw std::logic_error("GpuPool: release without acquire");
+  ++idle_;
+}
+
+}  // namespace rupam

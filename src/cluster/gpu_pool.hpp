@@ -1,0 +1,28 @@
+// Exclusive-use accelerator devices on a node (stack nodes carry one
+// NVIDIA Tesla each in the paper's Hydra cluster).
+#pragma once
+
+#include <stdexcept>
+
+namespace rupam {
+
+class GpuPool {
+ public:
+  explicit GpuPool(int devices) : total_(devices), idle_(devices) {
+    if (devices < 0) throw std::invalid_argument("GpuPool: negative device count");
+  }
+
+  int total() const { return total_; }
+  int idle() const { return idle_; }
+  int busy() const { return total_ - idle_; }
+
+  /// Try to take one device; returns false when none is idle.
+  bool try_acquire();
+  void release();
+
+ private:
+  int total_;
+  int idle_;
+};
+
+}  // namespace rupam

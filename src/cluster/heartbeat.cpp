@@ -1,0 +1,38 @@
+#include "cluster/heartbeat.hpp"
+
+namespace rupam {
+
+HeartbeatService::HeartbeatService(Cluster& cluster, SimTime period)
+    : cluster_(cluster), period_(period) {
+  if (period <= 0.0) throw std::invalid_argument("HeartbeatService: period must be > 0");
+}
+
+void HeartbeatService::subscribe(Listener listener) { listeners_.push_back(std::move(listener)); }
+
+void HeartbeatService::start() {
+  if (running_) return;
+  running_ = true;
+  pending_.assign(cluster_.size(), EventHandle{});
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    // Deterministic stagger: node i beats at phase i/n of the period.
+    SimTime phase = period_ * static_cast<double>(i) / static_cast<double>(cluster_.size());
+    pending_[i] = cluster_.sim().schedule_after(phase, [this, id] { beat(id); });
+  }
+}
+
+void HeartbeatService::stop() {
+  running_ = false;
+  for (auto& h : pending_) h.cancel();
+  pending_.clear();
+}
+
+void HeartbeatService::beat(NodeId id) {
+  if (!running_) return;
+  NodeMetrics metrics = cluster_.node(id).metrics();
+  for (const auto& listener : listeners_) listener(metrics);
+  pending_[static_cast<std::size_t>(id)] =
+      cluster_.sim().schedule_after(period_, [this, id] { beat(id); });
+}
+
+}  // namespace rupam

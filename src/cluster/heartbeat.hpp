@@ -1,0 +1,39 @@
+// Periodic worker → master heartbeats carrying piggy-backed resource
+// metrics (RUPAM's "extended heartbeat", paper §III-B1). Listeners get one
+// callback per node per period; beats are staggered deterministically so no
+// two nodes report at the exact same instant.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "simcore/simulator.hpp"
+
+namespace rupam {
+
+class HeartbeatService {
+ public:
+  using Listener = std::function<void(const NodeMetrics&)>;
+
+  HeartbeatService(Cluster& cluster, SimTime period = 1.0);
+
+  void subscribe(Listener listener);
+
+  /// Begin emitting heartbeats (first beats land within one period).
+  void start();
+  void stop();
+
+  SimTime period() const { return period_; }
+
+ private:
+  void beat(NodeId id);
+
+  Cluster& cluster_;
+  SimTime period_;
+  bool running_ = false;
+  std::vector<Listener> listeners_;
+  std::vector<EventHandle> pending_;
+};
+
+}  // namespace rupam

@@ -1,0 +1,49 @@
+// Capacity-style memory accounting (no rate): claims either fit or fail.
+#pragma once
+
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace rupam {
+
+class MemoryPool {
+ public:
+  explicit MemoryPool(Bytes capacity) : capacity_(capacity) {
+    if (capacity < 0.0) throw std::invalid_argument("MemoryPool: negative capacity");
+  }
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes free() const { return capacity_ - used_; }
+  double occupancy() const { return capacity_ > 0.0 ? used_ / capacity_ : 1.0; }
+
+  /// Reserve `amount`; returns false (and reserves nothing) if it overflows.
+  bool try_reserve(Bytes amount) {
+    if (amount < 0.0) throw std::invalid_argument("MemoryPool: negative reserve");
+    if (used_ + amount > capacity_) return false;
+    used_ += amount;
+    return true;
+  }
+
+  /// Reserve unconditionally (models a JVM that allocates past safe levels
+  /// and later dies); used_ may exceed capacity afterwards.
+  void force_reserve(Bytes amount) {
+    if (amount < 0.0) throw std::invalid_argument("MemoryPool: negative reserve");
+    used_ += amount;
+  }
+
+  void release(Bytes amount) {
+    if (amount < 0.0) throw std::invalid_argument("MemoryPool: negative release");
+    used_ -= amount;
+    if (used_ < 0.0) used_ = 0.0;
+  }
+
+  bool overcommitted() const { return used_ > capacity_; }
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0.0;
+};
+
+}  // namespace rupam

@@ -1,0 +1,15 @@
+#include "cluster/node_spec.hpp"
+
+#include <sstream>
+
+namespace rupam {
+
+std::string NodeSpec::describe() const {
+  std::ostringstream oss;
+  oss << name << " (" << node_class << "): " << cores << " cores @ " << cpu_ghz << " GHz, "
+      << to_gib(memory) << " GB RAM, " << net_bandwidth * 8.0 / 1e9 << " GbE, "
+      << (has_ssd ? "SSD" : "HDD") << ", " << gpus << " GPU(s)";
+  return oss.str();
+}
+
+}  // namespace rupam

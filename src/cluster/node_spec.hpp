@@ -1,0 +1,48 @@
+// Static hardware description of a cluster node (paper Table II).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace rupam {
+
+/// Reference CPU frequency: CpuWork is expressed in core-seconds at this
+/// clock. A core at 2× the reference executes CpuWork at 2× rate.
+inline constexpr double kReferenceGhz = 2.0;
+
+struct NodeSpec {
+  std::string name;        // e.g. "thor3"
+  std::string node_class;  // e.g. "thor" | "hulk" | "stack"
+
+  int cores = 1;
+  double cpu_ghz = kReferenceGhz;
+  /// Measured per-core performance index relative to the reference core
+  /// (clock alone understates real differences — the paper's SysBench run
+  /// shows thor ~5x faster than stack/hulk despite a 1.3x clock gap).
+  double cpu_perf = 1.0;
+
+  Bytes memory = 16 * kGiB;
+
+  /// Nominal NIC bandwidth (Table II). The switch can cap the achievable
+  /// rate below this (Table IV: a 1 GbE switch levels every node).
+  Bytes net_bandwidth = gbit_per_s(1.0);
+
+  bool has_ssd = false;
+  Bytes disk_read_bw = mib_per_s(150);
+  Bytes disk_write_bw = mib_per_s(140);
+  /// Storage capacity — drives HDFS-style block placement share.
+  Bytes disk_capacity = 1024.0 * kGiB;
+
+  int gpus = 0;
+  /// Speedup of a GPU-accelerable compute phase versus one reference core.
+  double gpu_speedup = 12.0;
+
+  /// Relative single-core speed versus the reference core.
+  double core_speed() const { return cpu_perf; }
+
+  std::string describe() const;
+};
+
+}  // namespace rupam

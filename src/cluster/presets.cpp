@@ -1,0 +1,97 @@
+#include "cluster/presets.hpp"
+
+namespace rupam {
+
+NodeSpec thor_spec() {
+  NodeSpec s;
+  s.node_class = "thor";
+  s.cores = 8;
+  s.cpu_ghz = 3.2;  // AMD FX-8320E
+  s.cpu_perf = 3.5;  // SysBench shows thor ~5x the others per run (Table IV)
+  s.memory = 16 * kGiB;
+  s.net_bandwidth = gbit_per_s(1.0);
+  s.has_ssd = true;  // 512 GB Crucial SSD
+  s.disk_read_bw = mib_per_s(510);
+  s.disk_write_bw = mib_per_s(460);
+  s.disk_capacity = 512.0 * kGiB;
+  s.gpus = 0;
+  return s;
+}
+
+NodeSpec hulk_spec() {
+  NodeSpec s;
+  s.node_class = "hulk";
+  s.cores = 32;
+  s.cpu_ghz = 2.5;  // AMD Opteron 6380
+  s.cpu_perf = 1.1;  // SysBench: slightly better than stack (Table IV)
+  s.memory = 64 * kGiB;
+  s.net_bandwidth = gbit_per_s(10.0);
+  s.has_ssd = false;  // 1 TB Seagate HDD
+  s.disk_read_bw = mib_per_s(160);
+  s.disk_write_bw = mib_per_s(150);
+  s.gpus = 0;
+  return s;
+}
+
+NodeSpec stack_spec() {
+  NodeSpec s;
+  s.node_class = "stack";
+  s.cores = 16;
+  s.cpu_ghz = 2.4;  // Intel Xeon E5620
+  s.cpu_perf = 1.0;  // reference core
+  s.memory = 48 * kGiB;
+  s.net_bandwidth = gbit_per_s(1.0);
+  s.has_ssd = false;
+  s.disk_read_bw = mib_per_s(155);
+  s.disk_write_bw = mib_per_s(145);
+  s.gpus = 1;  // NVIDIA Tesla C2050
+  return s;
+}
+
+std::vector<NodeId> build_hydra(Cluster& cluster) {
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 6; ++i) {
+    NodeSpec s = thor_spec();
+    s.name = "thor" + std::to_string(i + 1);
+    ids.push_back(cluster.add_node(std::move(s)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    NodeSpec s = hulk_spec();
+    s.name = "hulk" + std::to_string(i + 1);
+    ids.push_back(cluster.add_node(std::move(s)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    NodeSpec s = stack_spec();
+    s.name = "stack" + std::to_string(i + 1);
+    ids.push_back(cluster.add_node(std::move(s)));
+  }
+  return ids;
+}
+
+std::vector<NodeId> build_motivation_pair(Cluster& cluster) {
+  std::vector<NodeId> ids;
+  NodeSpec n1;
+  n1.name = "node-1";
+  n1.node_class = "slow-cpu";
+  n1.cores = 16;
+  n1.cpu_ghz = 1.6;
+  n1.cpu_perf = 0.67;
+  n1.memory = 48 * kGiB;
+  n1.net_bandwidth = gbit_per_s(1.0);
+  n1.has_ssd = false;
+  ids.push_back(cluster.add_node(std::move(n1)));
+
+  NodeSpec n2;
+  n2.name = "node-2";
+  n2.node_class = "fast-cpu";
+  n2.cores = 16;
+  n2.cpu_ghz = 2.4;
+  n2.cpu_perf = 1.0;
+  n2.memory = 48 * kGiB;
+  n2.net_bandwidth = gbit_per_s(10.0);
+  n2.has_ssd = false;
+  ids.push_back(cluster.add_node(std::move(n2)));
+  return ids;
+}
+
+}  // namespace rupam

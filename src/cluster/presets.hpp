@@ -1,0 +1,26 @@
+// Cluster presets used by the paper's experiments.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/node_spec.hpp"
+
+namespace rupam {
+
+/// Node classes of the Hydra cluster (paper Table II).
+NodeSpec thor_spec();   // 8-core AMD FX-8320E @3.2 GHz, 16 GB, 1 GbE, SSD
+NodeSpec hulk_spec();   // 32-core AMD Opteron 6380 @2.5 GHz, 64 GB, 10 GbE, HDD
+NodeSpec stack_spec();  // 16-core Intel Xeon E5620 @2.4 GHz, 48 GB, 1 GbE, HDD, GPU
+
+/// Populate `cluster` with the 12-node Hydra layout: 6× thor, 4× hulk,
+/// 2× stack (paper §IV). Returns the node ids in creation order.
+std::vector<NodeId> build_hydra(Cluster& cluster);
+
+/// The 2-node motivational setup of §II-B: both 16 cores / 48 GB;
+/// node-1 at 1.6 GHz with 1 GbE, node-2 at 2.4 GHz with 10 GbE.
+/// The switch must be >= 10 GbE for the asymmetry to matter, so callers
+/// should construct the Cluster with switch_bandwidth = gbit_per_s(10).
+std::vector<NodeId> build_motivation_pair(Cluster& cluster);
+
+}  // namespace rupam

@@ -1,0 +1,68 @@
+// Deterministic random number generation for the simulator.
+//
+// All stochastic behaviour in the simulation flows from one Rng seeded per
+// run, so a (seed, configuration) pair fully determines every result.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rupam {
+
+/// PCG32: small, fast, statistically solid, fully deterministic across
+/// platforms (unlike std::mt19937 paired with std:: distributions, whose
+/// outputs are implementation-defined).
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  result_type operator()() { return next_u32(); }
+  std::uint32_t next_u32();
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (deterministic; caches the spare).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Normal truncated to [lo, hi] by clamping (keeps determinism simple).
+  double clamped_normal(double mean, double stddev, double lo, double hi);
+
+  double exponential(double rate);
+  double lognormal(double mu, double sigma);
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng split();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// Zipf-distributed integers in [0, n). Used for data-skew models:
+/// partition sizes in real Spark stages are heavy-tailed (paper §II-B2).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent);
+
+  std::size_t operator()(Rng& rng) const;
+  std::size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rupam

@@ -1,0 +1,79 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rupam {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  std::size_t total = n_ + other.n_;
+  double na = static_cast<double>(n_);
+  double nb = static_cast<double>(other.n_);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(total);
+  mean_ = (na * mean_ + nb * other.mean_) / static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = total;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double confidence_interval_95(double stddev, std::size_t n) {
+  if (n < 2) return 0.0;
+  // Two-sided 97.5% Student-t quantiles for small df; converges to 1.96.
+  static constexpr double kT[] = {0.0,   12.706, 4.303, 3.182, 2.776, 2.571,
+                                  2.447, 2.365,  2.306, 2.262, 2.228};
+  std::size_t df = n - 1;
+  double t = df < std::size(kT) ? kT[df] : 1.96 + 2.6 / static_cast<double>(df);
+  return t * stddev / std::sqrt(static_cast<double>(n));
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  auto hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double mean_of(const std::vector<double>& values) {
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& values) {
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.stddev();
+}
+
+}  // namespace rupam

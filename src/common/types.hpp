@@ -1,0 +1,68 @@
+// Core identifier and enum types shared across all rupam modules.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rupam {
+
+/// Simulation time in seconds. All simulated durations/timestamps use this.
+using SimTime = double;
+
+/// Byte counts (data sizes, bandwidth work amounts).
+using Bytes = double;
+
+/// Abstract CPU work: core-seconds at the reference clock frequency.
+using CpuWork = double;
+
+using NodeId = std::int32_t;
+using ExecutorId = std::int32_t;
+using JobId = std::int32_t;
+using StageId = std::int32_t;
+using TaskId = std::int64_t;
+using AttemptId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+/// The resource dimensions RUPAM tracks (Table I of the paper).
+/// Order matters: the Dispatcher round-robins over these in this order.
+enum class ResourceKind : std::uint8_t {
+  kCpu = 0,
+  kMemory = 1,
+  kDisk = 2,
+  kNetwork = 3,
+  kGpu = 4,
+};
+inline constexpr int kNumResourceKinds = 5;
+
+inline std::string_view to_string(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu: return "CPU";
+    case ResourceKind::kMemory: return "MEM";
+    case ResourceKind::kDisk: return "I/O";
+    case ResourceKind::kNetwork: return "NET";
+    case ResourceKind::kGpu: return "GPU";
+  }
+  return "?";
+}
+
+/// Spark data-locality levels, best-first (paper §III-C1).
+enum class Locality : std::uint8_t {
+  kProcessLocal = 0,
+  kNodeLocal = 1,
+  kRackLocal = 2,
+  kAny = 3,
+};
+inline constexpr int kNumLocalityLevels = 4;
+
+inline std::string_view to_string(Locality level) {
+  switch (level) {
+    case Locality::kProcessLocal: return "PROCESS_LOCAL";
+    case Locality::kNodeLocal: return "NODE_LOCAL";
+    case Locality::kRackLocal: return "RACK_LOCAL";
+    case Locality::kAny: return "ANY";
+  }
+  return "?";
+}
+
+}  // namespace rupam

@@ -1,0 +1,26 @@
+// Unit helpers: byte sizes, bandwidths, time constants.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rupam {
+
+inline constexpr Bytes kKiB = 1024.0;
+inline constexpr Bytes kMiB = 1024.0 * kKiB;
+inline constexpr Bytes kGiB = 1024.0 * kMiB;
+inline constexpr Bytes kTiB = 1024.0 * kGiB;
+
+/// Network bandwidths are quoted in decimal bits/s (1 GbE = 1e9 bit/s).
+constexpr Bytes gbit_per_s(double gbit) { return gbit * 1e9 / 8.0; }
+constexpr Bytes mbit_per_s(double mbit) { return mbit * 1e6 / 8.0; }
+
+constexpr Bytes mib_per_s(double mib) { return mib * kMiB; }
+
+constexpr SimTime milliseconds(double ms) { return ms / 1000.0; }
+constexpr SimTime seconds(double s) { return s; }
+constexpr SimTime minutes(double m) { return m * 60.0; }
+
+constexpr double to_gib(Bytes b) { return b / kGiB; }
+constexpr double to_mib(Bytes b) { return b / kMiB; }
+
+}  // namespace rupam

@@ -1,0 +1,81 @@
+#include "dag/dag_scheduler.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace rupam {
+
+DagScheduler::DagScheduler(Simulator& sim, SubmitFn submit)
+    : sim_(sim), submit_(std::move(submit)) {
+  if (!submit_) throw std::invalid_argument("DagScheduler: null submit function");
+}
+
+void DagScheduler::run(const Application& app, DoneFn on_done) {
+  if (!finished_) throw std::logic_error("DagScheduler: application already running");
+  app_ = &app;
+  on_done_ = std::move(on_done);
+  current_job_index_ = -1;
+  finished_ = false;
+  start_next_job();
+}
+
+void DagScheduler::start_next_job() {
+  ++current_job_index_;
+  progress_.clear();
+  if (static_cast<std::size_t>(current_job_index_) >= app_->jobs.size()) {
+    finished_ = true;
+    RUPAM_INFO(sim_.now(), "application '", app_->name, "' finished");
+    if (on_done_) on_done_();
+    return;
+  }
+  const Job& job = app_->jobs[static_cast<std::size_t>(current_job_index_)];
+  RUPAM_INFO(sim_.now(), "starting job ", job.id, " (", job.name, ") with ", job.stages.size(),
+             " stages");
+  for (const auto& stage : job.stages) {
+    StageProgress p;
+    p.stage = &stage;
+    for (const auto& t : stage.tasks.tasks) p.remaining_partitions.insert(t.partition);
+    if (p.remaining_partitions.empty()) p.complete = true;  // degenerate empty stage
+    progress_.emplace(stage.id, std::move(p));
+  }
+  submit_ready_stages();
+}
+
+void DagScheduler::submit_ready_stages() {
+  bool all_complete = true;
+  for (auto& [id, p] : progress_) {
+    if (p.complete) continue;
+    all_complete = false;
+    if (p.submitted) continue;
+    bool ready = true;
+    for (StageId parent : p.stage->parents) {
+      auto it = progress_.find(parent);
+      if (it != progress_.end() && !it->second.complete) {
+        ready = false;
+        break;
+      }
+    }
+    if (ready) {
+      p.submitted = true;
+      RUPAM_INFO(sim_.now(), "submitting stage ", id, " (", p.stage->name, ", ",
+                 p.stage->num_tasks(), " tasks)");
+      submit_(p.stage->tasks);
+    }
+  }
+  if (all_complete) start_next_job();
+}
+
+void DagScheduler::on_partition_success(StageId stage, int partition) {
+  auto it = progress_.find(stage);
+  if (it == progress_.end()) return;  // stale report from a previous job
+  StageProgress& p = it->second;
+  p.remaining_partitions.erase(partition);
+  if (!p.complete && p.remaining_partitions.empty()) {
+    p.complete = true;
+    RUPAM_INFO(sim_.now(), "stage ", stage, " (", p.stage->name, ") complete");
+    submit_ready_stages();
+  }
+}
+
+}  // namespace rupam

@@ -1,0 +1,53 @@
+// DAGScheduler: walks an application's jobs sequentially (one action at a
+// time, like a driver program); within a job, submits every stage whose
+// parents have completed — independent stages run concurrently, which is
+// what lets RUPAM overlap tasks with different resource demands
+// (paper §III-C2).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "dag/job.hpp"
+#include "simcore/simulator.hpp"
+
+namespace rupam {
+
+class DagScheduler {
+ public:
+  using SubmitFn = std::function<void(const TaskSet&)>;
+  using DoneFn = std::function<void()>;
+
+  DagScheduler(Simulator& sim, SubmitFn submit);
+
+  /// Start executing `app`; `on_done` fires when the last job completes.
+  void run(const Application& app, DoneFn on_done);
+
+  /// The task scheduler reports each partition's first successful attempt.
+  void on_partition_success(StageId stage, int partition);
+
+  bool finished() const { return finished_; }
+  JobId current_job() const { return current_job_index_ >= 0 ? current_job_index_ : -1; }
+
+ private:
+  void start_next_job();
+  void submit_ready_stages();
+
+  Simulator& sim_;
+  SubmitFn submit_;
+  DoneFn on_done_;
+  const Application* app_ = nullptr;
+  int current_job_index_ = -1;
+  bool finished_ = true;
+
+  struct StageProgress {
+    const Stage* stage = nullptr;
+    std::set<int> remaining_partitions;
+    bool submitted = false;
+    bool complete = false;
+  };
+  std::map<StageId, StageProgress> progress_;  // stages of the current job
+};
+
+}  // namespace rupam

@@ -1,0 +1,47 @@
+#include "dag/job.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace rupam {
+
+void Job::validate() const {
+  std::set<StageId> ids;
+  for (const auto& s : stages) {
+    s.validate();
+    if (!ids.insert(s.id).second) throw std::invalid_argument("Job: duplicate stage id");
+  }
+  for (const auto& s : stages) {
+    for (StageId p : s.parents) {
+      if (ids.count(p) == 0) throw std::invalid_argument("Job: parent stage not in job");
+    }
+  }
+}
+
+std::size_t Application::total_tasks() const {
+  std::size_t n = 0;
+  for (const auto& j : jobs) {
+    for (const auto& s : j.stages) n += s.num_tasks();
+  }
+  return n;
+}
+
+void Application::validate() const {
+  std::set<StageId> stage_ids;
+  std::set<TaskId> task_ids;
+  for (const auto& j : jobs) {
+    j.validate();
+    for (const auto& s : j.stages) {
+      if (!stage_ids.insert(s.id).second) {
+        throw std::invalid_argument("Application: stage id reused across jobs");
+      }
+      for (const auto& t : s.tasks.tasks) {
+        if (!task_ids.insert(t.id).second) {
+          throw std::invalid_argument("Application: duplicate task id");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rupam

@@ -1,0 +1,29 @@
+// Job: the stage DAG triggered by one Spark action. An Application is the
+// sequence of jobs a driver program submits (iterative workloads submit one
+// job per iteration).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/stage.hpp"
+
+namespace rupam {
+
+struct Job {
+  JobId id = 0;
+  std::string name;
+  std::vector<Stage> stages;  // ids unique within the application
+
+  void validate() const;
+};
+
+struct Application {
+  std::string name;
+  std::vector<Job> jobs;
+
+  std::size_t total_tasks() const;
+  void validate() const;
+};
+
+}  // namespace rupam

@@ -1,0 +1,15 @@
+#include "dag/stage.hpp"
+
+#include <stdexcept>
+
+namespace rupam {
+
+void Stage::validate() const {
+  if (tasks.stage != id) throw std::invalid_argument("Stage: task set stage id mismatch");
+  for (StageId p : parents) {
+    if (p == id) throw std::invalid_argument("Stage: stage cannot depend on itself");
+  }
+  tasks.validate();
+}
+
+}  // namespace rupam

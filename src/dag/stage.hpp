@@ -1,0 +1,22 @@
+// Stage: a set of tasks separated from its parents by shuffle boundaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tasks/task_set.hpp"
+
+namespace rupam {
+
+struct Stage {
+  StageId id = 0;
+  std::string name;  // stable across iterations, keys DB_task_char
+  bool is_shuffle_map = true;
+  std::vector<StageId> parents;  // within the same job
+  TaskSet tasks;
+
+  std::size_t num_tasks() const { return tasks.size(); }
+  void validate() const;
+};
+
+}  // namespace rupam

@@ -1,0 +1,66 @@
+#include "exec/block_cache.hpp"
+
+#include <stdexcept>
+
+namespace rupam {
+
+BlockCache::BlockCache(Bytes capacity) : capacity_(capacity) {
+  if (capacity < 0.0) throw std::invalid_argument("BlockCache: negative capacity");
+}
+
+Bytes BlockCache::evict_for(Bytes needed) {
+  Bytes evicted = 0.0;
+  while (used_ + needed > capacity_ && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    used_ -= it->second.size;
+    evicted += it->second.size;
+    entries_.erase(it);
+    lru_.pop_back();
+  }
+  evicted_total_ += evicted;
+  return evicted;
+}
+
+Bytes BlockCache::put(const std::string& key, Bytes size) {
+  if (size < 0.0) throw std::invalid_argument("BlockCache: negative block size");
+  if (size > capacity_) return 0.0;  // uncacheable: Spark skips, no eviction storm
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    used_ -= it->second.size;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  Bytes evicted = evict_for(size);
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{size, lru_.begin()});
+  used_ += size;
+  return evicted;
+}
+
+bool BlockCache::contains(const std::string& key) const { return entries_.count(key) > 0; }
+
+bool BlockCache::touch(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  return true;
+}
+
+void BlockCache::remove(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  used_ -= it->second.size;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void BlockCache::clear() {
+  lru_.clear();
+  entries_.clear();
+  used_ = 0.0;
+}
+
+}  // namespace rupam

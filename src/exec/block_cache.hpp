@@ -1,0 +1,54 @@
+// LRU RDD block cache (Spark's storage memory region).
+//
+// Iterative workloads persist intermediate RDDs; whether the next
+// iteration's read is a PROCESS_LOCAL memory hit or a disk/network miss
+// depends on whether the block survived LRU eviction — which depends on
+// the executor heap size, the lever RUPAM's dynamic executor sizing pulls.
+#pragma once
+
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace rupam {
+
+class BlockCache {
+ public:
+  explicit BlockCache(Bytes capacity);
+
+  /// Insert (or refresh) a block, evicting LRU blocks to make room.
+  /// Blocks larger than the whole cache are not stored.
+  /// Returns the number of bytes evicted to fit the block.
+  Bytes put(const std::string& key, Bytes size);
+
+  /// Probe without touching recency.
+  bool contains(const std::string& key) const;
+  /// Probe and mark as most recently used.
+  bool touch(const std::string& key);
+
+  void remove(const std::string& key);
+  void clear();
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  std::size_t blocks() const { return entries_.size(); }
+  Bytes evicted_total() const { return evicted_total_; }
+
+ private:
+  struct Entry {
+    Bytes size;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  Bytes evict_for(Bytes needed);
+
+  Bytes capacity_;
+  Bytes used_ = 0.0;
+  Bytes evicted_total_ = 0.0;
+  std::list<std::string> lru_;  // front = most recent
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace rupam

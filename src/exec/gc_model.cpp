@@ -1,0 +1,14 @@
+#include "exec/gc_model.hpp"
+
+#include <algorithm>
+
+namespace rupam {
+
+SimTime GcModel::gc_time(Bytes allocated, Bytes heap_capacity, double occupancy) const {
+  if (allocated <= 0.0 || heap_capacity <= 0.0) return 0.0;
+  double occ = std::clamp(occupancy, 0.0, 1.0);
+  double scan = params_.scan_factor * occ * occ * (heap_capacity / params_.reference_heap);
+  return allocated / params_.throughput * (1.0 + scan);
+}
+
+}  // namespace rupam

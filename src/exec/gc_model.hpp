@@ -1,0 +1,44 @@
+// JVM garbage-collection cost model.
+//
+// Needed to reproduce Fig 7's GC column: SQL pays *more* GC under RUPAM
+// (bigger heaps → longer full-heap scans at high occupancy), while LR pays
+// *less* (bigger heaps → the iteration cache fits → less allocation churn).
+//
+// Model: a task that allocates A bytes on an executor whose heap is `heap`
+// bytes at occupancy `occ` spends
+//   gc_time = A / throughput * (1 + scan_factor * occ^2 * heap / 16 GiB)
+// in collection. The first term is generational copying cost proportional
+// to allocation volume; the second captures full-heap scans whose cost
+// grows with heap size and pressure (paper §IV-D's explanation verbatim:
+// "JAVA spending more time to search the whole JVM memory space for GC").
+#pragma once
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace rupam {
+
+struct GcModelParams {
+  /// Bytes of young-gen churn collected per second of GC work.
+  Bytes throughput = 6.0 * kGiB;
+  /// Weight of the occupancy/heap-size dependent full-scan term.
+  double scan_factor = 1.2;
+  /// Heap size at which the scan term has weight 1.
+  Bytes reference_heap = 16.0 * kGiB;
+};
+
+class GcModel {
+ public:
+  explicit GcModel(GcModelParams params = {}) : params_(params) {}
+
+  /// GC seconds charged to a task that allocates `allocated` bytes while
+  /// the heap is `heap_capacity` bytes large at fractional occupancy `occ`.
+  SimTime gc_time(Bytes allocated, Bytes heap_capacity, double occupancy) const;
+
+  const GcModelParams& params() const { return params_; }
+
+ private:
+  GcModelParams params_;
+};
+
+}  // namespace rupam

@@ -1,0 +1,29 @@
+#include "metrics/breakdown.hpp"
+
+namespace rupam {
+
+Breakdown aggregate_breakdown(const std::vector<TaskMetrics>& metrics) {
+  Breakdown b;
+  for (const auto& m : metrics) {
+    b.gc += m.gc_time;
+    b.compute += m.compute_time;
+    b.scheduler += m.scheduler_delay;
+    b.shuffle_disk += m.shuffle_disk_time;
+    b.shuffle_net += m.shuffle_net_time;
+  }
+  return b;
+}
+
+TaskBreakdown task_breakdown(const TaskMetrics& m) {
+  TaskBreakdown b;
+  b.task = m.task;
+  b.node = m.node;
+  // Fig 3 folds serialization out of compute and lumps all shuffle I/O.
+  b.serialization = m.serialization_time;
+  b.compute = m.compute_time - m.serialization_time + m.gc_time;
+  b.shuffle = m.shuffle_read_time + m.shuffle_write_time + m.output_time;
+  b.scheduler_delay = m.scheduler_delay;
+  return b;
+}
+
+}  // namespace rupam

@@ -1,0 +1,36 @@
+// Execution-time breakdown aggregation (Fig 3's per-task categories and
+// Fig 7's per-workload stacks).
+#pragma once
+
+#include <vector>
+
+#include "tasks/task_metrics.hpp"
+
+namespace rupam {
+
+/// Fig 7 categories, summed over task attempts (seconds of task time).
+struct Breakdown {
+  SimTime gc = 0.0;
+  SimTime compute = 0.0;  // includes input read + serialization (Spark UI)
+  SimTime scheduler = 0.0;
+  SimTime shuffle_disk = 0.0;
+  SimTime shuffle_net = 0.0;
+
+  SimTime total() const { return gc + compute + scheduler + shuffle_disk + shuffle_net; }
+};
+
+Breakdown aggregate_breakdown(const std::vector<TaskMetrics>& metrics);
+
+/// Fig 3 categories for one task attempt.
+struct TaskBreakdown {
+  TaskId task = 0;
+  NodeId node = kInvalidNode;
+  SimTime compute = 0.0;
+  SimTime shuffle = 0.0;
+  SimTime serialization = 0.0;
+  SimTime scheduler_delay = 0.0;
+};
+
+TaskBreakdown task_breakdown(const TaskMetrics& m);
+
+}  // namespace rupam

@@ -1,0 +1,106 @@
+#include "metrics/event_trace.hpp"
+
+#include <stdexcept>
+
+#include "common/table.hpp"
+
+namespace rupam {
+
+std::string_view to_string(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kStageSubmitted: return "stage_submitted";
+    case TraceEventType::kTaskLaunched: return "task_launched";
+    case TraceEventType::kSpeculativeLaunched: return "speculative_launched";
+    case TraceEventType::kTaskFinished: return "task_finished";
+    case TraceEventType::kTaskFailed: return "task_failed";
+    case TraceEventType::kTaskRelocated: return "task_relocated";
+    case TraceEventType::kExecutorLost: return "executor_lost";
+  }
+  return "?";
+}
+
+void EventTrace::record(TraceEvent event) {
+  if (!events_.empty() && event.time < events_.back().time) {
+    throw std::invalid_argument("EventTrace: non-monotonic event time");
+  }
+  counts_[static_cast<std::size_t>(event.type)]++;
+  events_.push_back(std::move(event));
+}
+
+std::size_t EventTrace::count(TraceEventType type) const {
+  return counts_[static_cast<std::size_t>(type)];
+}
+
+void EventTrace::clear() {
+  events_.clear();
+  counts_.fill(0);
+}
+
+void EventTrace::write_csv(std::ostream& os) const {
+  CsvWriter csv(os);
+  csv.write_row({"time", "type", "stage", "task", "attempt", "node", "duration", "detail"});
+  for (const auto& e : events_) {
+    csv.write_row({format_fixed(e.time, 6), std::string(to_string(e.type)),
+                   std::to_string(e.stage), std::to_string(e.task),
+                   std::to_string(e.attempt), std::to_string(e.node),
+                   format_fixed(e.duration, 6), e.detail});
+  }
+}
+
+namespace {
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+void EventTrace::write_chrome_tracing(std::ostream& os) const {
+  os << "[\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  " << line;
+  };
+  for (const auto& e : events_) {
+    double ts_us = e.time * 1e6;
+    switch (e.type) {
+      case TraceEventType::kTaskFinished:
+      case TraceEventType::kTaskFailed: {
+        // Completed attempt: a duration slice on the node's lane.
+        std::string name = "task " + std::to_string(e.task) + "#" + std::to_string(e.attempt);
+        emit("{\"name\": \"" + json_escape(name) + "\", \"cat\": \"" +
+             std::string(to_string(e.type)) + "\", \"ph\": \"X\", \"ts\": " +
+             format_fixed(ts_us - e.duration * 1e6, 3) + ", \"dur\": " +
+             format_fixed(e.duration * 1e6, 3) + ", \"pid\": " + std::to_string(e.node) +
+             ", \"tid\": " + std::to_string(e.task % 64) + ", \"args\": {\"detail\": \"" +
+             json_escape(e.detail) + "\"}}");
+        break;
+      }
+      case TraceEventType::kExecutorLost:
+      case TraceEventType::kTaskRelocated:
+      case TraceEventType::kStageSubmitted: {
+        emit("{\"name\": \"" + std::string(to_string(e.type)) + "\", \"ph\": \"i\", \"ts\": " +
+             format_fixed(ts_us, 3) + ", \"pid\": " +
+             std::to_string(e.node == kInvalidNode ? 0 : e.node) +
+             ", \"tid\": 0, \"s\": \"g\", \"args\": {\"detail\": \"" + json_escape(e.detail) +
+             "\"}}");
+        break;
+      }
+      default:
+        break;  // launches are implied by the X events
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace rupam

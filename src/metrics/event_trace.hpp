@@ -1,0 +1,64 @@
+// Structured scheduling-event trace — the simulator's equivalent of the
+// Spark history server. Records every scheduling decision and failure,
+// exportable as CSV (analysis) or Chrome-tracing JSON (load either file
+// into chrome://tracing or Perfetto to see per-node task lanes).
+#pragma once
+
+#include <array>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rupam {
+
+enum class TraceEventType : std::uint8_t {
+  kStageSubmitted = 0,
+  kTaskLaunched,
+  kSpeculativeLaunched,
+  kTaskFinished,
+  kTaskFailed,
+  kTaskRelocated,
+  kExecutorLost,
+};
+inline constexpr int kNumTraceEventTypes = 7;
+
+std::string_view to_string(TraceEventType type);
+
+struct TraceEvent {
+  SimTime time = 0.0;
+  TraceEventType type = TraceEventType::kTaskLaunched;
+  StageId stage = -1;
+  TaskId task = -1;
+  AttemptId attempt = 0;
+  NodeId node = kInvalidNode;
+  /// Free-form context: failure reason, stage name, locality.
+  std::string detail;
+  /// Duration (finished/failed events), 0 otherwise.
+  SimTime duration = 0.0;
+};
+
+class EventTrace {
+ public:
+  void record(TraceEvent event);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t count(TraceEventType type) const;
+  bool empty() const { return events_.empty(); }
+  void clear();
+
+  /// One row per event: time,type,stage,task,attempt,node,duration,detail.
+  void write_csv(std::ostream& os) const;
+
+  /// Chrome-tracing "Trace Event Format": task attempts become complete
+  /// ("X") events, one process lane per node; instant events for failures
+  /// and executor losses.
+  void write_chrome_tracing(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::array<std::size_t, kNumTraceEventTypes> counts_{};
+};
+
+}  // namespace rupam

@@ -1,0 +1,14 @@
+#include "metrics/locality_counter.hpp"
+
+namespace rupam {
+
+LocalityCounts count_locality(const std::vector<TaskMetrics>& metrics) {
+  LocalityCounts counts{};
+  for (const auto& m : metrics) {
+    if (m.failed) continue;
+    counts[static_cast<std::size_t>(m.locality)]++;
+  }
+  return counts;
+}
+
+}  // namespace rupam

@@ -1,0 +1,16 @@
+// Locality-level accounting for Table V.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "tasks/task_metrics.hpp"
+
+namespace rupam {
+
+using LocalityCounts = std::array<std::size_t, kNumLocalityLevels>;
+
+/// Count successful attempts per locality level.
+LocalityCounts count_locality(const std::vector<TaskMetrics>& metrics);
+
+}  // namespace rupam

@@ -1,0 +1,101 @@
+#include "metrics/utilization_sampler.hpp"
+
+#include <stdexcept>
+
+namespace rupam {
+
+UtilizationSampler::UtilizationSampler(Cluster& cluster, SimTime period)
+    : cluster_(cluster), period_(period) {
+  if (period <= 0.0) throw std::invalid_argument("UtilizationSampler: period must be > 0");
+  auto n = cluster_.size();
+  cpu_.resize(n);
+  mem_.resize(n);
+  net_.resize(n);
+  disk_.resize(n);
+  last_net_bytes_.assign(n, 0.0);
+  last_disk_bytes_.assign(n, 0.0);
+}
+
+void UtilizationSampler::start() {
+  if (running_) return;
+  running_ = true;
+  last_sample_ = cluster_.sim().now();
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    last_net_bytes_[i] = cluster_.node(id).net_bytes_total();
+    last_disk_bytes_[i] = cluster_.node(id).disk_bytes_total();
+  }
+  next_ = cluster_.sim().schedule_after(period_, [this] { sample(); });
+}
+
+void UtilizationSampler::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+void UtilizationSampler::sample() {
+  if (!running_) return;
+  SimTime now = cluster_.sim().now();
+  SimTime dt = now - last_sample_;
+  last_sample_ = now;
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    Node& node = cluster_.node(id);
+    cpu_[i].add(now, node.cpu().utilization());
+    mem_[i].add(now, node.memory_in_use());
+    Bytes net_total = node.net_bytes_total();
+    Bytes disk_total = node.disk_bytes_total();
+    net_[i].add(now, dt > 0.0 ? (net_total - last_net_bytes_[i]) / dt : 0.0);
+    disk_[i].add(now, dt > 0.0 ? (disk_total - last_disk_bytes_[i]) / dt : 0.0);
+    last_net_bytes_[i] = net_total;
+    last_disk_bytes_[i] = disk_total;
+  }
+  next_ = cluster_.sim().schedule_after(period_, [this] { sample(); });
+}
+
+namespace {
+const TimeSeries& at(const std::vector<TimeSeries>& v, NodeId node) {
+  if (node < 0 || static_cast<std::size_t>(node) >= v.size()) {
+    throw std::out_of_range("UtilizationSampler: bad node id");
+  }
+  return v[static_cast<std::size_t>(node)];
+}
+
+double avg_of(const std::vector<TimeSeries>& v) {
+  RunningStats s;
+  for (const auto& ts : v) {
+    for (const auto& p : ts.points()) s.add(p.value);
+  }
+  return s.mean();
+}
+
+std::vector<std::vector<double>> aligned(const std::vector<TimeSeries>& v, SimTime dt,
+                                         SimTime horizon) {
+  std::vector<std::vector<double>> out;
+  out.reserve(v.size());
+  for (const auto& ts : v) out.push_back(ts.resample(dt, horizon));
+  return out;
+}
+}  // namespace
+
+const TimeSeries& UtilizationSampler::cpu_util(NodeId node) const { return at(cpu_, node); }
+const TimeSeries& UtilizationSampler::memory_used(NodeId node) const { return at(mem_, node); }
+const TimeSeries& UtilizationSampler::net_rate(NodeId node) const { return at(net_, node); }
+const TimeSeries& UtilizationSampler::disk_rate(NodeId node) const { return at(disk_, node); }
+
+double UtilizationSampler::avg_cpu_util() const { return avg_of(cpu_); }
+double UtilizationSampler::avg_memory_used() const { return avg_of(mem_); }
+double UtilizationSampler::avg_net_rate() const { return avg_of(net_); }
+double UtilizationSampler::avg_disk_rate() const { return avg_of(disk_); }
+
+std::vector<std::vector<double>> UtilizationSampler::cpu_series(SimTime horizon) const {
+  return aligned(cpu_, period_, horizon);
+}
+std::vector<std::vector<double>> UtilizationSampler::net_series(SimTime horizon) const {
+  return aligned(net_, period_, horizon);
+}
+std::vector<std::vector<double>> UtilizationSampler::disk_series(SimTime horizon) const {
+  return aligned(disk_, period_, horizon);
+}
+
+}  // namespace rupam

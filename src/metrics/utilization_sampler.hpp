@@ -1,0 +1,55 @@
+// Periodic per-node utilization sampler — the measurement layer behind
+// Fig 2 (timelines), Fig 8 (averages), and Fig 9 (cross-node stddev).
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "simcore/timeseries.hpp"
+
+namespace rupam {
+
+class UtilizationSampler {
+ public:
+  UtilizationSampler(Cluster& cluster, SimTime period = 1.0);
+
+  void start();
+  void stop();
+
+  /// Per-node series, indexed by NodeId.
+  const TimeSeries& cpu_util(NodeId node) const;      // fraction [0,1]
+  const TimeSeries& memory_used(NodeId node) const;   // bytes
+  const TimeSeries& net_rate(NodeId node) const;      // bytes/s
+  const TimeSeries& disk_rate(NodeId node) const;     // bytes/s
+
+  /// Cluster-wide averages over nodes and samples (Fig 8 bars).
+  double avg_cpu_util() const;
+  double avg_memory_used() const;
+  double avg_net_rate() const;
+  double avg_disk_rate() const;
+
+  /// Aligned per-node series resampled on the sampling grid, for Fig 9's
+  /// cross-node standard deviation.
+  std::vector<std::vector<double>> cpu_series(SimTime horizon) const;
+  std::vector<std::vector<double>> net_series(SimTime horizon) const;
+  std::vector<std::vector<double>> disk_series(SimTime horizon) const;
+
+  SimTime period() const { return period_; }
+
+ private:
+  void sample();
+
+  Cluster& cluster_;
+  SimTime period_;
+  bool running_ = false;
+  EventHandle next_;
+  std::vector<TimeSeries> cpu_;
+  std::vector<TimeSeries> mem_;
+  std::vector<TimeSeries> net_;
+  std::vector<TimeSeries> disk_;
+  std::vector<Bytes> last_net_bytes_;
+  std::vector<Bytes> last_disk_bytes_;
+  SimTime last_sample_ = 0.0;
+};
+
+}  // namespace rupam

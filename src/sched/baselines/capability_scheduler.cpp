@@ -1,0 +1,106 @@
+#include "sched/baselines/capability_scheduler.hpp"
+
+#include <algorithm>
+
+namespace rupam {
+
+CapabilityScheduler::CapabilityScheduler(SchedulerEnv env)
+    : CapabilityScheduler(std::move(env), Config()) {}
+
+CapabilityScheduler::CapabilityScheduler(SchedulerEnv env, Config config)
+    : SchedulerBase(std::move(env)), config_(config) {}
+
+ResourceKind CapabilityScheduler::stage_bottleneck(const std::string& stage_name) const {
+  auto it = profiles_.find(stage_name);
+  if (it == profiles_.end() || it->second.samples == 0) {
+    // No evidence yet: assume generic computation (the assumption the
+    // paper's motivational study falsifies).
+    return ResourceKind::kCpu;
+  }
+  const StageProfileEstimate& p = it->second;
+  double n = static_cast<double>(p.samples);
+  if (p.gpu) return ResourceKind::kGpu;
+  double compute = p.compute / n;
+  double read = p.shuffle_read / n;
+  double write = p.shuffle_write / n;
+  if (compute > config_.res_factor * std::max(read, write)) return ResourceKind::kCpu;
+  if (read > config_.res_factor * write) return ResourceKind::kNetwork;
+  return ResourceKind::kDisk;
+}
+
+void CapabilityScheduler::task_succeeded(StageState& stage, TaskState&,
+                                         const TaskMetrics& metrics) {
+  StageProfileEstimate& p = profiles_[stage.set.stage_name];
+  ++p.samples;
+  p.compute += metrics.compute_time;
+  p.shuffle_read += metrics.shuffle_read_time;
+  p.shuffle_write += metrics.shuffle_write_time;
+  p.gpu = p.gpu || metrics.used_gpu;
+}
+
+std::vector<NodeId> CapabilityScheduler::ranked_nodes(ResourceKind kind) const {
+  std::vector<NodeId> ids = cluster().node_ids();
+  std::vector<std::pair<double, NodeId>> scored;
+  scored.reserve(ids.size());
+  for (NodeId id : ids) {
+    NodeMetrics m = cluster().node(id).metrics();
+    // Capability first; break ties toward the emptier executor so the
+    // stage spreads instead of serializing on the single best node.
+    Executor* exec = executor(id);
+    double load = exec != nullptr ? static_cast<double>(exec->running_tasks()) : 0.0;
+    scored.push_back({-m.capability(kind) * 1000.0 + load, id});
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<NodeId> out(scored.size());
+  for (std::size_t i = 0; i < scored.size(); ++i) out[i] = scored[i].second;
+  return out;
+}
+
+void CapabilityScheduler::try_dispatch() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto& [stage_id, stage] : stages_) {
+      ResourceKind kind = stage_bottleneck(stage.set.stage_name);
+      // One placement per round: the best node with a free slot takes the
+      // next pending task of this stage — locality is ignored entirely
+      // ("nodes are ranked by capability, tasks are interchangeable").
+      for (NodeId node : ranked_nodes(kind)) {
+        Executor* exec = executor(node);
+        if (exec == nullptr || exec->free_slots() <= 0) continue;
+        if (kind == ResourceKind::kGpu && cluster().node(node).gpus().idle() == 0) continue;
+        TaskState* next = nullptr;
+        for (auto& task : stage.tasks) {
+          if (launchable(task)) {
+            next = &task;
+            break;
+          }
+        }
+        if (next == nullptr) break;
+        if (launch_task(stage, *next, node, next->spec.gpu_accelerable,
+                        /*speculative=*/false, kind)) {
+          progressed = true;
+        }
+        break;  // re-rank after each launch
+      }
+    }
+  }
+  // Standard speculative execution, copies on the stage's best nodes.
+  for (auto [stage_id, task_index] : find_speculatable()) {
+    auto it = stages_.find(stage_id);
+    if (it == stages_.end()) continue;
+    StageState& stage = it->second;
+    TaskState& task = stage.tasks[task_index];
+    for (NodeId node : ranked_nodes(stage_bottleneck(stage.set.stage_name))) {
+      Executor* exec = executor(node);
+      if (exec == nullptr || exec->free_slots() <= 0) continue;
+      if (task.has_attempt_on(node)) continue;
+      if (launch_task(stage, task, node, task.spec.gpu_accelerable, /*speculative=*/true)) {
+        note_speculative_launch(task.spec.id);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace rupam

@@ -1,0 +1,48 @@
+#include "sched/baselines/fifo_scheduler.hpp"
+
+namespace rupam {
+
+void FifoScheduler::try_dispatch() {
+  auto ids = cluster().node_ids();
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      NodeId node = ids[(i + rotation_) % ids.size()];
+      Executor* exec = executor(node);
+      if (exec == nullptr || exec->free_slots() <= 0) continue;
+      for (auto& [stage_id, stage] : stages_) {
+        TaskState* next = nullptr;
+        for (auto& task : stage.tasks) {
+          if (launchable(task)) {
+            next = &task;
+            break;
+          }
+        }
+        if (next == nullptr) continue;
+        if (launch_task(stage, *next, node, next->spec.gpu_accelerable,
+                        /*speculative=*/false)) {
+          progressed = true;
+        }
+        break;  // FIFO: earliest stage only
+      }
+    }
+    ++rotation_;
+  }
+  for (auto [stage_id, task_index] : find_speculatable()) {
+    auto it = stages_.find(stage_id);
+    if (it == stages_.end()) continue;
+    StageState& stage = it->second;
+    TaskState& task = stage.tasks[task_index];
+    for (NodeId node : ids) {
+      Executor* exec = executor(node);
+      if (exec == nullptr || exec->free_slots() <= 0 || task.has_attempt_on(node)) continue;
+      if (launch_task(stage, task, node, task.spec.gpu_accelerable, /*speculative=*/true)) {
+        note_speculative_launch(task.spec.id);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace rupam

@@ -1,0 +1,23 @@
+// Locality- and heterogeneity-oblivious FIFO baseline: tasks go to the
+// first node with a free slot, in submission order. A lower bound that
+// quantifies how much even plain Spark's locality awareness buys.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace rupam {
+
+class FifoScheduler : public SchedulerBase {
+ public:
+  explicit FifoScheduler(SchedulerEnv env) : SchedulerBase(std::move(env)) {}
+
+  std::string name() const override { return "FIFO"; }
+
+ protected:
+  void try_dispatch() override;
+
+ private:
+  std::size_t rotation_ = 0;
+};
+
+}  // namespace rupam

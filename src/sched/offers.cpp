@@ -1,0 +1,19 @@
+#include "sched/offers.hpp"
+
+namespace rupam {
+
+std::vector<Locality> valid_locality_levels(const TaskSet& set) {
+  bool any_cached = false;
+  bool any_preferred = false;
+  for (const auto& t : set.tasks) {
+    if (!t.input_cache_key.empty()) any_cached = true;
+    if (!t.preferred_nodes.empty()) any_preferred = true;
+  }
+  std::vector<Locality> levels;
+  if (any_cached) levels.push_back(Locality::kProcessLocal);
+  if (any_preferred) levels.push_back(Locality::kNodeLocal);
+  levels.push_back(Locality::kAny);
+  return levels;
+}
+
+}  // namespace rupam

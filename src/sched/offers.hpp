@@ -1,0 +1,23 @@
+// Worker-offer helpers shared by schedulers.
+#pragma once
+
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "tasks/task_set.hpp"
+
+namespace rupam {
+
+/// One schedulable node in a dispatch round.
+struct WorkerOffer {
+  NodeId node = kInvalidNode;
+  int free_slots = 0;
+  NodeMetrics metrics;
+};
+
+/// The locality levels a task set can actually achieve, best-first and
+/// always ending in ANY. Spark's delay scheduling only waits on levels
+/// that exist: a set with no cached input never waits at PROCESS_LOCAL.
+std::vector<Locality> valid_locality_levels(const TaskSet& set);
+
+}  // namespace rupam

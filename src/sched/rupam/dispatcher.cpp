@@ -1,0 +1,51 @@
+#include "sched/rupam/dispatcher.hpp"
+
+namespace rupam {
+
+std::optional<std::size_t> algorithm2_select(const std::vector<DispatchTaskView>& tasks,
+                                             NodeId node, Bytes node_free_memory,
+                                             const DispatcherPolicy& policy) {
+  // Selection tiers:
+  //   1. task locked to this node (immediately),
+  //   2. PROCESS_LOCAL task (immediately),
+  //   3. best-locality task that is not locked to another node,
+  //   4. best-locality task locked elsewhere (only when nothing else fits,
+  //      so locks steer placement without starving idle nodes).
+  const DispatchTaskView* best_locked_here = nullptr;
+  const DispatchTaskView* best_free = nullptr;  // PROCESS_LOCAL ranks first here
+  const DispatchTaskView* best_locked_elsewhere = nullptr;
+  for (const auto& task : tasks) {
+    bool locked_here = policy.opt_executor_lock && task.opt_executor == node;
+    bool locked_elsewhere = policy.opt_executor_lock && task.opt_executor != kInvalidNode &&
+                            task.opt_executor != node;
+    if (policy.memory_guard &&
+        task.peak_memory + policy.memory_headroom > node_free_memory) {
+      // Memory guard, with the paper's single exception: a fully
+      // characterized task locked to this node runs here regardless.
+      if (locked_here && task.history_size >= kNumResourceKinds) return task.index;
+      continue;
+    }
+    if (locked_here) {
+      if (best_locked_here == nullptr || task.expected_cost > best_locked_here->expected_cost) {
+        best_locked_here = &task;
+      }
+      continue;
+    }
+    const DispatchTaskView*& slot = locked_elsewhere ? best_locked_elsewhere : best_free;
+    if (slot == nullptr || static_cast<int>(task.locality) < static_cast<int>(slot->locality)) {
+      slot = &task;
+    }
+  }
+  if (best_locked_here != nullptr) return best_locked_here->index;
+  if (best_free != nullptr) return best_free->index;
+  if (best_locked_elsewhere != nullptr) return best_locked_elsewhere->index;
+  return std::nullopt;
+}
+
+ResourceKind ResourceRoundRobin::next() {
+  auto kind = static_cast<ResourceKind>(cursor_);
+  cursor_ = (cursor_ + 1) % kNumResourceKinds;
+  return kind;
+}
+
+}  // namespace rupam

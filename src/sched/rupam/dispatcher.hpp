@@ -1,0 +1,60 @@
+// RUPAM's Dispatcher selection rule (paper Algorithm 2), factored as pure
+// logic over task views so it is unit-testable in isolation.
+//
+// Given the tasks of one resource queue and one candidate node (the head
+// of that resource's priority queue), pick:
+//   1. a task whose history covers all five resources and whose
+//      best-observed executor is this node — even past the memory guard
+//      (the "optexecutor lock", §III-C1);
+//   2. otherwise, skip tasks whose peak memory exceeds the node's free
+//      memory (the OOM guard, §III-C);
+//   3. among the rest: a task locked to this node, then a PROCESS_LOCAL
+//      task, then the task with the best locality.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rupam {
+
+struct DispatchTaskView {
+  std::size_t index = 0;  // caller-side handle
+  Bytes peak_memory = 0.0;
+  NodeId opt_executor = kInvalidNode;
+  std::size_t history_size = 0;  // distinct bottleneck resources observed
+  Locality locality = Locality::kAny;
+  /// Expected cost from DB_task_char (recorded compute time); 0 when
+  /// unknown. Among tasks locked to the offered node the most expensive
+  /// runs first (LPT) — the whole point of locking a hot task to the
+  /// fastest node is to start it before the wave fills.
+  double expected_cost = 0.0;
+};
+
+struct DispatcherPolicy {
+  bool opt_executor_lock = true;
+  bool memory_guard = true;
+  /// Safety margin the guard keeps free on top of the task's footprint.
+  Bytes memory_headroom = 0.0;
+};
+
+/// Returns the chosen task's `index`, or nullopt if nothing fits.
+std::optional<std::size_t> algorithm2_select(const std::vector<DispatchTaskView>& tasks,
+                                             NodeId node, Bytes node_free_memory,
+                                             const DispatcherPolicy& policy = {});
+
+/// Round-robin cursor over resource kinds ("dequeue one node from each
+/// resource queue at a time ... so no task with a single resource type is
+/// starved").
+class ResourceRoundRobin {
+ public:
+  ResourceKind next();
+  ResourceKind peek() const { return static_cast<ResourceKind>(cursor_); }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace rupam

@@ -1,0 +1,33 @@
+#include "sched/rupam/resource_monitor.hpp"
+
+#include <algorithm>
+
+namespace rupam {
+
+void ResourceMonitor::record(const NodeMetrics& metrics) { latest_[metrics.node] = metrics; }
+
+const NodeMetrics* ResourceMonitor::latest(NodeId node) const {
+  auto it = latest_.find(node);
+  return it == latest_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> ResourceMonitor::ranked(
+    ResourceKind kind, const std::function<bool(const NodeMetrics&)>& admit) const {
+  std::vector<const NodeMetrics*> rows;
+  rows.reserve(latest_.size());
+  for (const auto& [id, m] : latest_) {
+    if (!admit || admit(m)) rows.push_back(&m);
+  }
+  std::sort(rows.begin(), rows.end(), [kind](const NodeMetrics* a, const NodeMetrics* b) {
+    double ca = a->capability(kind), cb = b->capability(kind);
+    if (ca != cb) return ca > cb;
+    double ua = a->utilization(kind), ub = b->utilization(kind);
+    if (ua != ub) return ua < ub;
+    return a->node < b->node;  // deterministic tie-break
+  });
+  std::vector<NodeId> out(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) out[i] = rows[i]->node;
+  return out;
+}
+
+}  // namespace rupam

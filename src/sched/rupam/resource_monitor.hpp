@@ -1,0 +1,37 @@
+// RUPAM's Resource Monitor (RM, paper §III-B1).
+//
+// A central Monitor records the per-node metrics that the distributed
+// Collectors piggy-back on heartbeats (our HeartbeatService). For each
+// scheduling round it materializes one priority queue per resource type,
+// ordered by capacity/capability descending, then utilization ascending —
+// "most powerful first, least used first". Queues are rebuilt per round,
+// matching the paper's design of emptying them between offer rounds.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/node.hpp"
+
+namespace rupam {
+
+class ResourceMonitor {
+ public:
+  /// Ingest one heartbeat (the paper's executordataMap analogue).
+  void record(const NodeMetrics& metrics);
+
+  const NodeMetrics* latest(NodeId node) const;
+  bool has(NodeId node) const { return latest(node) != nullptr; }
+  std::size_t tracked_nodes() const { return latest_.size(); }
+  void clear() { latest_.clear(); }
+
+  /// The per-resource priority queue: nodes passing `admit`, best first.
+  std::vector<NodeId> ranked(ResourceKind kind,
+                             const std::function<bool(const NodeMetrics&)>& admit) const;
+
+ private:
+  std::unordered_map<NodeId, NodeMetrics> latest_;
+};
+
+}  // namespace rupam

@@ -1,0 +1,293 @@
+#include "sched/rupam/rupam_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace rupam {
+
+RupamScheduler::RupamScheduler(SchedulerEnv env, RupamConfig config)
+    : SchedulerBase(std::move(env)),
+      config_(config),
+      tm_(db_, TaskManagerConfig{config.res_factor, config.mem_queue_threshold}) {}
+
+void RupamScheduler::on_heartbeat(const NodeMetrics& metrics) {
+  rm_.record(metrics);
+  check_memory_straggler(metrics);
+  SchedulerBase::on_heartbeat(metrics);
+}
+
+void RupamScheduler::stage_submitted(StageState& stage) {
+  for (std::size_t i = 0; i < stage.tasks.size(); ++i) {
+    tm_.enqueue(stage.tasks[i].spec, stage.set.stage, i);
+  }
+}
+
+void RupamScheduler::task_succeeded(StageState&, TaskState& task, const TaskMetrics& metrics) {
+  tm_.record_completion(task.spec, metrics);
+  relocating_.erase(task.spec.id);
+}
+
+void RupamScheduler::task_failed(StageState& stage, TaskState& task, const std::string&) {
+  relocating_.erase(task.spec.id);
+  if (task.pending) {
+    // Re-characterize with whatever the DB knows now and requeue.
+    tm_.enqueue(task.spec, stage.set.stage, static_cast<std::size_t>(&task - stage.tasks.data()));
+  }
+}
+
+void RupamScheduler::task_relaunchable(StageState& stage, TaskState& task) {
+  tm_.enqueue(task.spec, stage.set.stage, static_cast<std::size_t>(&task - stage.tasks.data()));
+}
+
+void RupamScheduler::seed_monitor() {
+  // The heartbeat stream is the architectural source of RM data; a
+  // dispatch round additionally refreshes the snapshot so admission checks
+  // (memory guard, over-commit limits) never race a 1-second-stale view.
+  for (NodeId id : cluster().node_ids()) rm_.record(cluster().node(id).metrics());
+}
+
+int RupamScheduler::running_of_kind(NodeId node, ResourceKind kind) const {
+  int count = 0;
+  for (const auto& [id, stage] : stages_) {
+    for (const auto& task : stage.tasks) {
+      for (const auto& attempt : task.live) {
+        if (attempt.node == node && attempt.kind == kind) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+bool RupamScheduler::node_available(const NodeMetrics& metrics, ResourceKind kind) const {
+  Executor* exec = executor(metrics.node);
+  if (exec == nullptr || !exec->alive()) return false;
+  if (!config_.overcommit) return exec->free_slots() > 0;  // slot semantics (ablation)
+  Node& node = cluster().node(metrics.node);
+  double cap = config_.max_tasks_per_core * node.spec().cores + config_.overcommit_slack;
+  if (exec->running_tasks() >= static_cast<int>(cap)) return false;
+  // Node-health gates from real-time utilization (the RM metrics): a node
+  // whose disk or NIC queue is already deep takes no further work of any
+  // kind — HDDs lose aggregate throughput under deep queues, so piling on
+  // is strictly counterproductive. This is the "avoid resource
+  // contention" behaviour of §III-B applied at admission time.
+  auto disk_active = std::max(node.disk_read().active(), node.disk_write().active());
+  std::size_t disk_gate = node.spec().has_ssd ? 48 : 16;
+  if (disk_active >= disk_gate) return false;
+  if (node.net().active() >= 32) return false;
+  // Admission counts what the dispatcher has *committed* per resource
+  // queue, not instantaneous phase occupancy: a CPU-bound task in its
+  // shuffle-read phase still owns its future CPU slot. Over-commit comes
+  // from admitting across queues — e.g. a core-saturated node still takes
+  // disk-, net-, memory- or GPU-bound work (paper §III-C2).
+  int committed = running_of_kind(metrics.node, kind);
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return committed < node.spec().cores;
+    case ResourceKind::kMemory:
+      return metrics.free_memory > 512.0 * kMiB &&
+             committed < std::max(2, node.spec().cores / 4);
+    case ResourceKind::kDisk:
+      return committed < (node.spec().has_ssd ? config_.max_disk_tasks_ssd
+                                              : config_.max_disk_tasks_hdd);
+    case ResourceKind::kNetwork:
+      return committed < config_.max_net_tasks;
+    case ResourceKind::kGpu:
+      return metrics.gpus_idle > 0;
+  }
+  return false;
+}
+
+RupamScheduler::Pick RupamScheduler::select_for(ResourceKind kind, NodeId node) {
+  auto& queue = tm_.queue(kind);
+
+  // Prune refs whose task is no longer waiting in this queue.
+  auto waiting = [this, kind](const TaskManager::PendingRef& ref,
+                              StageState** stage_out, TaskState** task_out, bool* race) {
+    auto it = stages_.find(ref.stage);
+    if (it == stages_.end()) return false;
+    StageState& stage = it->second;
+    if (ref.task_index >= stage.tasks.size()) return false;
+    TaskState& task = stage.tasks[ref.task_index];
+    if (task.spec.id != ref.task || task.finished) return false;
+    *stage_out = &stage;
+    *task_out = &task;
+    *race = false;
+    if (launchable(task)) return true;
+    if (kind == ResourceKind::kGpu && config_.gpu_cpu_race && !task.live.empty() &&
+        !task.has_gpu_attempt()) {
+      // Task is racing on a CPU; a device opened up — launch the GPU copy.
+      *race = true;
+      return true;
+    }
+    return false;
+  };
+
+  struct Row {
+    StageState* stage;
+    TaskState* task;
+    bool race;
+  };
+  std::vector<Row> rows;
+  std::vector<TaskManager::PendingRef> kept;
+  for (const auto& ref : queue) {
+    StageState* stage = nullptr;
+    TaskState* task = nullptr;
+    bool race = false;
+    if (waiting(ref, &stage, &task, &race)) {
+      kept.push_back(ref);
+      rows.push_back(Row{stage, task, race});
+    } else if (stages_.count(ref.stage) > 0) {
+      StageState& s = stages_.at(ref.stage);
+      if (ref.task_index < s.tasks.size() && !s.tasks[ref.task_index].finished) {
+        kept.push_back(ref);  // running but may fail later; keep the ref
+      }
+    }
+  }
+  queue = std::move(kept);
+
+  // CPU round may also take pending GPU tasks when no device is idle
+  // anywhere — the CPU side of the dual-run race (§III-C3, BLAS example).
+  if (kind == ResourceKind::kCpu && config_.gpu_cpu_race) {
+    bool any_idle_gpu = false;
+    for (NodeId id : cluster().node_ids()) {
+      if (cluster().node(id).gpus().idle() > 0) any_idle_gpu = true;
+    }
+    if (!any_idle_gpu) {
+      for (const auto& ref : tm_.queue(ResourceKind::kGpu)) {
+        auto it = stages_.find(ref.stage);
+        if (it == stages_.end()) continue;
+        StageState& stage = it->second;
+        if (ref.task_index >= stage.tasks.size()) continue;
+        TaskState& task = stage.tasks[ref.task_index];
+        if (task.spec.id != ref.task || !launchable(task)) continue;
+        rows.push_back(Row{&stage, &task, false});
+      }
+    }
+  }
+  if (rows.empty()) return {};
+
+  Bytes free_mem = cluster().node(node).free_memory();
+  bool node_has_idle_gpu = cluster().node(node).gpus().idle() > 0;
+  std::vector<DispatchTaskView> views;
+  views.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TaskSpec& spec = rows[i].task->spec;
+    DispatchTaskView v;
+    v.index = i;
+    v.peak_memory = spec.total_memory();
+    v.locality = locality_for(spec, node);
+    if (const TaskCharRecord* rec = db_.lookup(spec.stage_name, spec.partition)) {
+      // The best-node lock is meaningless for a GPU task when the node's
+      // devices are all busy — its best runtime came from the GPU.
+      if (!rec->gpu || node_has_idle_gpu) {
+        v.opt_executor = rec->opt_executor;
+        v.history_size = rec->history_resources.size();
+      }
+      v.expected_cost = rec->compute_time + rec->shuffle_read + rec->shuffle_write;
+    }
+    views.push_back(v);
+  }
+  DispatcherPolicy policy{config_.opt_executor_lock, config_.memory_guard,
+                          config_.memory_guard_headroom};
+  auto chosen = algorithm2_select(views, node, free_mem, policy);
+  if (!chosen) return {};
+  const Row& row = rows[*chosen];
+  return Pick{row.stage, row.task, row.race};
+}
+
+RupamScheduler::Pick RupamScheduler::select_speculative(ResourceKind kind, NodeId node) {
+  Bytes free_mem = cluster().node(node).free_memory();
+  for (auto [stage_id, task_index] : find_speculatable()) {
+    auto it = stages_.find(stage_id);
+    if (it == stages_.end()) continue;
+    StageState& stage = it->second;
+    TaskState& task = stage.tasks[task_index];
+    if (task.has_attempt_on(node)) continue;
+    // Match the straggler's bottleneck to the resource round, so the copy
+    // runs where that resource is most capable.
+    ResourceKind bottleneck = ResourceKind::kCpu;
+    if (const TaskCharRecord* rec = db_.lookup(task.spec.stage_name, task.spec.partition)) {
+      bottleneck = tm_.bottleneck(*rec);
+    }
+    if (bottleneck != kind) continue;
+    if (config_.memory_guard &&
+        task.spec.total_memory() + config_.memory_guard_headroom > free_mem) {
+      continue;
+    }
+    return Pick{&stage, &task, /*gpu_race_copy=*/true};
+  }
+  return {};
+}
+
+void RupamScheduler::try_dispatch() {
+  seed_monitor();
+  int misses = 0;
+  while (misses < kNumResourceKinds) {
+    ResourceKind kind = round_robin_.next();
+    auto nodes = rm_.ranked(
+        kind, [this, kind](const NodeMetrics& m) { return node_available(m, kind); });
+    // Walk the priority queue until a node accepts a task; launch at most
+    // one task per kind-visit so no resource type is starved.
+    bool launched = false;
+    for (NodeId node : nodes) {
+      Pick pick = select_for(kind, node);
+      bool speculative_copy = false;
+      if (pick.task == nullptr) {
+        pick = select_speculative(kind, node);
+        speculative_copy = pick.task != nullptr;
+      }
+      if (pick.task == nullptr) continue;
+      bool use_gpu = pick.task->spec.gpu_accelerable && cluster().node(node).gpus().idle() > 0;
+      bool as_copy = pick.gpu_race_copy;
+      if (!launch_task(*pick.stage, *pick.task, node, use_gpu, as_copy, kind)) continue;
+      if (as_copy) {
+        if (speculative_copy) {
+          note_speculative_launch(pick.task->spec.id);
+        } else {
+          ++gpu_races_;
+        }
+      }
+      launched = true;
+      break;
+    }
+    misses = launched ? 0 : misses + 1;
+  }
+}
+
+void RupamScheduler::check_memory_straggler(const NodeMetrics& metrics) {
+  if (!config_.memory_straggler) return;
+  if (metrics.free_memory >= config_.low_memory_watermark) return;
+  Executor* exec = executor(metrics.node);
+  if (exec == nullptr || exec->running_tasks() < 2) return;
+  // Rate-limit per node: relocation is a remedial action, not a policy —
+  // killing the top consumer every heartbeat would thrash.
+  auto it = last_relocation_.find(metrics.node);
+  if (it != last_relocation_.end() && sim().now() - it->second < 10.0) return;
+
+  // Find the largest memory consumer on this node across active stages.
+  StageState* victim_stage = nullptr;
+  TaskState* victim = nullptr;
+  Bytes victim_mem = 0.0;
+  for (auto& [id, stage] : stages_) {
+    for (auto& task : stage.tasks) {
+      if (task.finished || relocating_.count(task.spec.id) > 0) continue;
+      for (const auto& attempt : task.live) {
+        if (attempt.node != metrics.node) continue;
+        if (attempt.exec->reserved_memory() > victim_mem) {
+          victim_mem = attempt.exec->reserved_memory();
+          victim_stage = &stage;
+          victim = &task;
+        }
+      }
+    }
+  }
+  if (victim == nullptr) return;
+  RUPAM_INFO(sim().now(), "RUPAM: memory straggler — relocating task ", victim->spec.id,
+             " off node ", metrics.node);
+  relocating_.insert(victim->spec.id);
+  last_relocation_[metrics.node] = sim().now();
+  relocate_task(*victim_stage, *victim, "memory straggler");
+}
+
+}  // namespace rupam

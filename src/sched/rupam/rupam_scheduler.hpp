@@ -1,0 +1,106 @@
+// RUPAM: the heterogeneity-aware task scheduler (paper §III).
+//
+// Wires the three components together:
+//   ResourceMonitor — per-node metrics from extended heartbeats;
+//   TaskManager     — Algorithm 1 characterization + per-resource queues
+//                     backed by DB_task_char;
+//   Dispatcher      — Algorithm 2 node/task matching with round-robin
+//                     resource fairness, memory guard, optexecutor lock.
+// Plus the §III-C mechanisms: utilization-based over-commit (a node is
+// available as long as the offered resource has headroom, not when a core
+// slot frees), memory-straggler relocation, and the CPU↔GPU dual-run race.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "sched/rupam/dispatcher.hpp"
+#include "sched/rupam/resource_monitor.hpp"
+#include "sched/rupam/task_char_db.hpp"
+#include "sched/rupam/task_manager.hpp"
+#include "sched/scheduler.hpp"
+
+namespace rupam {
+
+struct RupamConfig {
+  /// Algorithm 1 sensitivity.
+  double res_factor = 2.0;
+  /// Tasks above this peak memory also join the MEM queue.
+  Bytes mem_queue_threshold = 1.0 * kGiB;
+  /// Free-memory level below which RM flags a memory straggler.
+  Bytes low_memory_watermark = 768.0 * kMiB;
+  /// Safety margin the memory guard keeps free beyond a task's footprint.
+  Bytes memory_guard_headroom = 768.0 * kMiB;
+  /// Per-resource admission limits for over-commit: maximum concurrent
+  /// phases the dispatcher will stack on one node per resource.
+  /// SSDs sustain deep I/O queues; HDDs thrash — the dispatcher stacks
+  /// accordingly (this is where "schedule I/O tasks to SSD nodes" bites).
+  int max_disk_tasks_ssd = 16;
+  int max_disk_tasks_hdd = 6;
+  int max_net_tasks = 12;
+  /// Hard per-node cap (sanity bound on over-commit).
+  double max_tasks_per_core = 1.0;
+  /// Flat extra slots on top of the per-core cap (lets a core-saturated
+  /// node still take a few mismatched-resource tasks, e.g. GPU work).
+  int overcommit_slack = 8;
+  /// Feature toggles (ablation benches flip these).
+  bool opt_executor_lock = true;
+  bool memory_guard = true;
+  bool memory_straggler = true;
+  bool gpu_cpu_race = true;
+  bool overcommit = true;
+};
+
+class RupamScheduler : public SchedulerBase {
+ public:
+  RupamScheduler(SchedulerEnv env, RupamConfig config = {});
+
+  std::string name() const override { return "RUPAM"; }
+
+  void on_heartbeat(const NodeMetrics& metrics) override;
+
+  /// Exposed so experiments can clear DB_task_char between repetitions
+  /// (the paper clears it after each of the five Fig-5 runs).
+  TaskCharDb& db() { return db_; }
+  const RupamConfig& config() const { return config_; }
+  ResourceMonitor& resource_monitor() { return rm_; }
+  std::size_t gpu_races() const { return gpu_races_; }
+
+ protected:
+  void try_dispatch() override;
+  void stage_submitted(StageState& stage) override;
+  void task_succeeded(StageState& stage, TaskState& task, const TaskMetrics& metrics) override;
+  void task_failed(StageState& stage, TaskState& task, const std::string& reason) override;
+  void task_relaunchable(StageState& stage, TaskState& task) override;
+
+ private:
+  struct Pick {
+    StageState* stage = nullptr;
+    TaskState* task = nullptr;
+    bool gpu_race_copy = false;
+  };
+
+  /// Can `node` take one more task whose bottleneck is `kind`?
+  bool node_available(const NodeMetrics& metrics, ResourceKind kind) const;
+  /// Live attempts on `node` dispatched from the `kind` queue.
+  int running_of_kind(NodeId node, ResourceKind kind) const;
+  /// Algorithm 2 over one resource queue for one node.
+  Pick select_for(ResourceKind kind, NodeId node);
+  /// Straggler path of Algorithm 2: schedule_task(speculativeTaskSet,
+  /// res, node) — only stragglers whose bottleneck matches `kind`, so a
+  /// CPU-bound straggler's copy lands on the CPU queue's best node.
+  Pick select_speculative(ResourceKind kind, NodeId node);
+  void check_memory_straggler(const NodeMetrics& metrics);
+  void seed_monitor();
+
+  RupamConfig config_;
+  TaskCharDb db_;
+  TaskManager tm_;
+  ResourceMonitor rm_;
+  ResourceRoundRobin round_robin_;
+  std::size_t gpu_races_ = 0;
+  std::set<TaskId> relocating_;  // guards repeated straggler kills per wave
+  std::map<NodeId, SimTime> last_relocation_;  // per-node relocation rate limit
+};
+
+}  // namespace rupam

@@ -1,0 +1,63 @@
+// DB_task_char (paper §III-B2): persistent task-characteristics store.
+//
+// Keyed by (stage name, partition) — stable across iterations and job
+// re-runs, which is why RUPAM's benefit grows with iteration count
+// (Fig 6). Records the Table I task metrics plus the best-node lock
+// (optexecutor / historyresource) used by Algorithm 2.
+//
+// The paper serializes DB writes through a helper thread with a write
+// queue that reads are served from first; inside a discrete-event
+// simulation all accesses are already serialized, so the map below is the
+// functional equivalent of queue+thread without the plumbing.
+#pragma once
+
+#include <limits>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "tasks/task_metrics.hpp"
+
+namespace rupam {
+
+struct TaskCharRecord {
+  int runs = 0;
+  // Smoothed Table I metrics from completed attempts.
+  SimTime compute_time = 0.0;
+  SimTime shuffle_read = 0.0;
+  SimTime shuffle_write = 0.0;
+  Bytes peak_memory = 0.0;
+  bool gpu = false;
+  // Best observed placement (paper: optexecutor) and its runtime.
+  NodeId opt_executor = kInvalidNode;
+  SimTime best_runtime = std::numeric_limits<double>::infinity();
+  // Resource bottlenecks observed over the task's life (historyresource).
+  std::set<ResourceKind> history_resources;
+};
+
+class TaskCharDb {
+ public:
+  const TaskCharRecord* lookup(const std::string& stage_name, int partition) const;
+
+  /// Fold one completed attempt into the record (exponential smoothing so
+  /// the "most updated information" dominates, per §III-B2).
+  TaskCharRecord& update(const std::string& stage_name, int partition,
+                         const TaskMetrics& metrics, ResourceKind bottleneck);
+
+  /// Mark a whole stage as GPU-accelerated (the paper marks all tasks of a
+  /// stage GPU once RM sees any of them touch a device).
+  void mark_stage_gpu(const std::string& stage_name);
+  bool stage_uses_gpu(const std::string& stage_name) const;
+
+  void clear();
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  static std::string key(const std::string& stage_name, int partition);
+
+  std::unordered_map<std::string, TaskCharRecord> records_;
+  std::set<std::string> gpu_stages_;
+};
+
+}  // namespace rupam

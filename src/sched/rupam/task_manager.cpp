@@ -1,0 +1,84 @@
+#include "sched/rupam/task_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rupam {
+
+TaskManager::TaskManager(TaskCharDb& db, TaskManagerConfig config) : db_(db), config_(config) {
+  if (config_.res_factor <= 0.0) throw std::invalid_argument("TaskManager: res_factor <= 0");
+}
+
+ResourceKind TaskManager::bottleneck(SimTime compute_time, SimTime shuffle_read,
+                                     SimTime shuffle_write, bool gpu) const {
+  // Algorithm 1, line for line.
+  if (gpu) return ResourceKind::kGpu;
+  if (compute_time > config_.res_factor * std::max(shuffle_read, shuffle_write)) {
+    return ResourceKind::kCpu;
+  }
+  if (shuffle_read > config_.res_factor * shuffle_write) return ResourceKind::kNetwork;
+  return ResourceKind::kDisk;
+}
+
+ResourceKind TaskManager::bottleneck(const TaskCharRecord& rec) const {
+  return bottleneck(rec.compute_time, rec.shuffle_read, rec.shuffle_write, rec.gpu);
+}
+
+ResourceKind TaskManager::bottleneck(const TaskMetrics& metrics, bool gpu) const {
+  return bottleneck(metrics.compute_time, metrics.shuffle_read_time,
+                    metrics.shuffle_write_time, gpu || metrics.used_gpu);
+}
+
+std::vector<ResourceKind> TaskManager::classify(const TaskSpec& spec) const {
+  std::vector<ResourceKind> kinds;
+  const TaskCharRecord* rec = db_.lookup(spec.stage_name, spec.partition);
+  bool stage_gpu = db_.stage_uses_gpu(spec.stage_name) || spec.gpu_accelerable;
+  if (rec != nullptr) {
+    kinds.push_back(bottleneck(rec->compute_time, rec->shuffle_read, rec->shuffle_write,
+                               rec->gpu || stage_gpu));
+    if (rec->peak_memory > config_.mem_queue_threshold) {
+      kinds.push_back(ResourceKind::kMemory);
+    }
+    return kinds;
+  }
+  if (stage_gpu) {
+    kinds.push_back(ResourceKind::kGpu);
+    return kinds;
+  }
+  if (spec.is_shuffle_map) {
+    // First sighting of a map task: "bounded by all types of resources".
+    kinds = {ResourceKind::kCpu, ResourceKind::kMemory, ResourceKind::kDisk,
+             ResourceKind::kNetwork};
+    return kinds;
+  }
+  // First sighting of a reduce/result task: network bound (shuffle fetch +
+  // result send), relaxed by TM in later iterations once metrics exist.
+  kinds.push_back(ResourceKind::kNetwork);
+  return kinds;
+}
+
+void TaskManager::enqueue(const TaskSpec& spec, StageId stage, std::size_t task_index) {
+  for (ResourceKind kind : classify(spec)) {
+    queues_[static_cast<std::size_t>(kind)].push_back(PendingRef{stage, task_index, spec.id});
+  }
+}
+
+std::vector<TaskManager::PendingRef>& TaskManager::queue(ResourceKind kind) {
+  return queues_[static_cast<std::size_t>(kind)];
+}
+
+const std::vector<TaskManager::PendingRef>& TaskManager::queue(ResourceKind kind) const {
+  return queues_[static_cast<std::size_t>(kind)];
+}
+
+void TaskManager::clear_queues() {
+  for (auto& q : queues_) q.clear();
+}
+
+void TaskManager::record_completion(const TaskSpec& spec, const TaskMetrics& metrics) {
+  ResourceKind kind = bottleneck(metrics, spec.gpu_accelerable && metrics.used_gpu);
+  db_.update(spec.stage_name, spec.partition, metrics, kind);
+  if (metrics.used_gpu) db_.mark_stage_gpu(spec.stage_name);
+}
+
+}  // namespace rupam

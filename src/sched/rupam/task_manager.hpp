@@ -1,0 +1,68 @@
+// RUPAM's Task Manager (TM, paper §III-B2 + Algorithm 1).
+//
+// Characterizes tasks into per-resource pending queues:
+//  * known tasks (present in DB_task_char) are classified by Algorithm 1
+//    over their recorded metrics;
+//  * first-time map tasks are assumed bounded by every resource
+//    (enqueued in all queues);
+//  * first-time reduce/result tasks are assumed network-bound.
+// Queues are drained by the Dispatcher and reset between waves.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sched/rupam/task_char_db.hpp"
+#include "tasks/task.hpp"
+
+namespace rupam {
+
+struct TaskManagerConfig {
+  /// Res_factor (Algorithm 1): sensitivity of bottleneck classification.
+  double res_factor = 2.0;
+  /// Tasks with peak memory above this also join the MEM queue (extension
+  /// of Algorithm 1's 4-way split to the paper's 5 resource queues).
+  Bytes mem_queue_threshold = 1.0 * kGiB;
+};
+
+class TaskManager {
+ public:
+  struct PendingRef {
+    StageId stage = 0;
+    std::size_t task_index = 0;
+    TaskId task = 0;
+  };
+
+  TaskManager(TaskCharDb& db, TaskManagerConfig config = {});
+
+  /// Algorithm 1 over recorded/observed characteristics.
+  ResourceKind bottleneck(SimTime compute_time, SimTime shuffle_read, SimTime shuffle_write,
+                          bool gpu) const;
+  ResourceKind bottleneck(const TaskCharRecord& rec) const;
+  ResourceKind bottleneck(const TaskMetrics& metrics, bool gpu) const;
+
+  /// Which queues a (re)submitted task belongs to.
+  std::vector<ResourceKind> classify(const TaskSpec& spec) const;
+
+  /// Enqueue into all queues classify() names.
+  void enqueue(const TaskSpec& spec, StageId stage, std::size_t task_index);
+
+  std::vector<PendingRef>& queue(ResourceKind kind);
+  const std::vector<PendingRef>& queue(ResourceKind kind) const;
+  void clear_queues();
+
+  /// Fold a completed attempt into DB_task_char; marks the stage GPU when
+  /// a device was used (the paper tags all tasks of that stage).
+  void record_completion(const TaskSpec& spec, const TaskMetrics& metrics);
+
+  TaskCharDb& db() { return db_; }
+  const TaskManagerConfig& config() const { return config_; }
+
+ private:
+  TaskCharDb& db_;
+  TaskManagerConfig config_;
+  std::array<std::vector<PendingRef>, kNumResourceKinds> queues_;
+};
+
+}  // namespace rupam

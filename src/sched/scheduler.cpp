@@ -1,0 +1,263 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "sched/speculation.hpp"
+
+namespace rupam {
+
+bool SchedulerBase::TaskState::has_attempt_on(NodeId node) const {
+  return std::any_of(live.begin(), live.end(),
+                     [node](const Attempt& a) { return a.node == node; });
+}
+
+bool SchedulerBase::TaskState::has_gpu_attempt() const {
+  return std::any_of(live.begin(), live.end(), [](const Attempt& a) { return a.gpu; });
+}
+
+SchedulerBase::SchedulerBase(SchedulerEnv env) : env_(std::move(env)) {
+  if (env_.sim == nullptr || env_.cluster == nullptr) {
+    throw std::invalid_argument("SchedulerBase: null environment");
+  }
+  if (env_.executors.size() != env_.cluster->size()) {
+    throw std::invalid_argument("SchedulerBase: executor list must match cluster size");
+  }
+  for (Executor* e : env_.executors) {
+    if (e == nullptr) throw std::invalid_argument("SchedulerBase: null executor");
+    e->set_ready_handler([this](ExecutorId) { request_dispatch(); });
+    e->set_lost_handler([this, e](ExecutorId id) {
+      trace(TraceEventType::kExecutorLost, -1, -1, 0, e->node().id(),
+            "executor " + std::to_string(id) + " lost");
+      request_dispatch();
+    });
+  }
+}
+
+SchedulerBase::~SchedulerBase() { speculation_timer_.cancel(); }
+
+Executor* SchedulerBase::executor(NodeId node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= env_.executors.size()) return nullptr;
+  return env_.executors[static_cast<std::size_t>(node)];
+}
+
+bool SchedulerBase::launchable(const TaskState& task) const {
+  return task.pending && !task.finished && sim().now() >= task.not_before;
+}
+
+Locality SchedulerBase::locality_for(const TaskSpec& spec, NodeId node) const {
+  return locality_of(spec, node, [this](NodeId n, const std::string& key) {
+    Executor* e = executor(n);
+    return e != nullptr && e->cache().contains(key);
+  });
+}
+
+void SchedulerBase::submit(const TaskSet& task_set) {
+  task_set.validate();
+  StageState stage;
+  stage.set = task_set;
+  stage.submit_time = sim().now();
+  stage.remaining = task_set.size();
+  stage.tasks.reserve(task_set.size());
+  for (const auto& spec : task_set.tasks) {
+    TaskState ts;
+    ts.spec = spec;
+    ts.submit_time = sim().now();
+    stage.tasks.push_back(std::move(ts));
+  }
+  auto [it, inserted] = stages_.emplace(task_set.stage, std::move(stage));
+  if (!inserted) throw std::logic_error("SchedulerBase: stage already active");
+  trace(TraceEventType::kStageSubmitted, task_set.stage, -1, 0, kInvalidNode,
+        task_set.stage_name);
+  stage_submitted(it->second);
+  if (speculation_.enabled && !speculation_timer_.pending()) {
+    speculation_timer_ =
+        sim().schedule_after(speculation_.interval, [this] { speculation_tick(); });
+  }
+  request_dispatch();
+}
+
+void SchedulerBase::on_heartbeat(const NodeMetrics&) { request_dispatch(); }
+
+void SchedulerBase::trace(TraceEventType type, StageId stage, TaskId task, AttemptId attempt,
+                          NodeId node, std::string detail, SimTime duration) {
+  if (trace_ == nullptr) return;
+  TraceEvent e;
+  e.time = sim().now();
+  e.type = type;
+  e.stage = stage;
+  e.task = task;
+  e.attempt = attempt;
+  e.node = node;
+  e.detail = std::move(detail);
+  e.duration = duration;
+  trace_->record(std::move(e));
+}
+
+void SchedulerBase::request_dispatch() {
+  if (dispatch_requested_) return;
+  dispatch_requested_ = true;
+  sim().schedule_after(0.0, [this] {
+    dispatch_requested_ = false;
+    try_dispatch();
+  });
+}
+
+bool SchedulerBase::launch_task(StageState& stage, TaskState& task, NodeId node, bool use_gpu,
+                                bool speculative, ResourceKind kind) {
+  Executor* exec = executor(node);
+  if (exec == nullptr || !exec->alive()) return false;
+  StageId stage_id = stage.set.stage;
+  std::size_t task_index = static_cast<std::size_t>(&task - stage.tasks.data());
+
+  LaunchOptions opts;
+  opts.use_gpu = use_gpu && task.spec.gpu_accelerable;
+  opts.locality = locality_for(task.spec, node);
+  opts.submit_time = speculative ? sim().now() : task.submit_time;
+  opts.attempt = task.next_attempt++;
+  AttemptId attempt_id = opts.attempt;
+
+  auto handle = exec->launch(
+      task.spec, opts,
+      [this, stage_id, task_index, attempt_id](const TaskMetrics& metrics) {
+        handle_success(stage_id, task_index, attempt_id, metrics);
+      },
+      [this, stage_id, task_index, attempt_id](const TaskSpec&, AttemptId,
+                                               const std::string& reason) {
+        handle_failure(stage_id, task_index, attempt_id, reason);
+      });
+  if (handle == nullptr) return false;
+
+  task.live.push_back(Attempt{attempt_id, node, opts.use_gpu, kind, handle});
+  trace(speculative ? TraceEventType::kSpeculativeLaunched : TraceEventType::kTaskLaunched,
+        stage_id, task.spec.id, attempt_id, node, std::string(to_string(opts.locality)));
+  if (!speculative) task.pending = false;
+  stage.last_launch = sim().now();
+  RUPAM_DEBUG(sim().now(), name(), ": launched task ", task.spec.id, " attempt ", attempt_id,
+              " on node ", node, speculative ? " (speculative)" : "",
+              opts.use_gpu ? " [gpu]" : "");
+  return true;
+}
+
+bool SchedulerBase::relocate_task(StageState& stage, TaskState& task,
+                                  const std::string& reason) {
+  if (task.finished || task.live.empty()) return false;
+  // Kill every live attempt silently and put the task back in the queue.
+  auto live = task.live;
+  for (auto& attempt : live) {
+    attempt.exec->kill(reason, /*notify=*/false);
+  }
+  trace(TraceEventType::kTaskRelocated, stage.set.stage, task.spec.id,
+        task.live.front().id, task.live.front().node, reason);
+  task.live.clear();
+  task.pending = true;
+  ++relocations_;
+  task_relaunchable(stage, task);
+  request_dispatch();
+  return true;
+}
+
+void SchedulerBase::handle_success(StageId stage_id, std::size_t task_index, AttemptId attempt,
+                                   const TaskMetrics& metrics) {
+  auto it = stages_.find(stage_id);
+  if (it == stages_.end()) return;
+  StageState& stage = it->second;
+  TaskState& task = stage.tasks.at(task_index);
+  // Drop this attempt from the live list.
+  std::erase_if(task.live, [attempt](const Attempt& a) { return a.id == attempt; });
+  if (task.finished) return;  // a sibling copy already won
+  task.finished = true;
+  task.pending = false;
+  // First finisher wins: abort the losing copies (Spark kills them).
+  for (auto& other : task.live) other.exec->kill("attempt superseded", /*notify=*/false);
+  task.live.clear();
+
+  trace(TraceEventType::kTaskFinished, stage_id, metrics.task, attempt, metrics.node,
+        std::string(to_string(metrics.locality)), metrics.run_time());
+  completed_.push_back(metrics);
+  stage.finished_runtimes.push_back(metrics.run_time());
+  --stage.remaining;
+  task_succeeded(stage, task, metrics);
+  if (on_partition_success_) {
+    on_partition_success_(stage_id, metrics.partition, metrics);
+  }
+  if (stage.remaining == 0) {
+    RUPAM_DEBUG(sim().now(), name(), ": stage ", stage_id, " drained");
+    stages_.erase(stage_id);
+  }
+  request_dispatch();
+}
+
+void SchedulerBase::handle_failure(StageId stage_id, std::size_t task_index, AttemptId attempt,
+                                   const std::string& reason) {
+  auto it = stages_.find(stage_id);
+  if (it == stages_.end()) return;
+  StageState& stage = it->second;
+  TaskState& task = stage.tasks.at(task_index);
+  std::erase_if(task.live, [attempt](const Attempt& a) { return a.id == attempt; });
+  if (task.finished) return;
+
+  TaskMetrics failure;
+  failure.task = task.spec.id;
+  failure.stage = stage_id;
+  failure.stage_name = stage.set.stage_name;
+  failure.partition = task.spec.partition;
+  failure.failed = true;
+  failure.failure_reason = reason;
+  failure.finish_time = sim().now();
+  failed_.push_back(failure);
+  trace(TraceEventType::kTaskFailed, stage_id, task.spec.id, attempt, kInvalidNode, reason);
+
+  ++task.failures;
+  RUPAM_INFO(sim().now(), name(), ": task ", task.spec.id, " attempt ", attempt, " failed (",
+             reason, "), failure #", task.failures);
+  if (task.live.empty()) task.pending = true;  // relaunch
+  // Exponential retry backoff: a crash-looping task (e.g. OOM on a packed
+  // node) must not be re-stuffed into the same wave instantly.
+  task.not_before =
+      sim().now() + std::min(30.0, std::exp2(static_cast<double>(task.failures)));
+  task_failed(stage, task, reason);
+  request_dispatch();
+}
+
+void SchedulerBase::speculation_tick() {
+  if (!stages_.empty()) request_dispatch();
+  speculation_timer_ =
+      sim().schedule_after(speculation_.interval, [this] { speculation_tick(); });
+}
+
+std::vector<std::pair<StageId, std::size_t>> SchedulerBase::find_speculatable() {
+  std::vector<std::pair<StageId, std::size_t>> out;
+  if (!speculation_.enabled) return out;
+  SpeculationRule rule{speculation_.quantile, speculation_.multiplier, 0.1};
+  std::vector<std::pair<double, std::pair<StageId, std::size_t>>> overdue;
+  for (auto& [stage_id, stage] : stages_) {
+    SimTime threshold = straggler_threshold(stage.finished_runtimes, stage.tasks.size(), rule);
+    if (threshold < 0.0) continue;
+    for (std::size_t i = 0; i < stage.tasks.size(); ++i) {
+      TaskState& task = stage.tasks[i];
+      if (task.finished || task.live.size() != 1) continue;
+      if (speculated_.count(task.spec.id) > 0) continue;
+      SimTime elapsed = sim().now() - task.live.front().exec->launch_time();
+      if (is_straggler(elapsed, threshold)) {
+        overdue.push_back({elapsed / threshold, {stage_id, i}});
+      }
+    }
+  }
+  // Most-overdue first: the worst stragglers get the next copy slots.
+  std::sort(overdue.begin(), overdue.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  out.reserve(overdue.size());
+  for (const auto& [ratio, ref] : overdue) out.push_back(ref);
+  return out;
+}
+
+void SchedulerBase::note_speculative_launch(TaskId task) {
+  speculated_.insert(task);
+  ++straggler_copies_;
+}
+
+}  // namespace rupam

@@ -1,0 +1,175 @@
+// Task-scheduler base: bookkeeping shared by the default Spark scheduler
+// and RUPAM — task/stage state, attempt wiring, retry-on-failure, kill-the-
+// loser semantics for speculative copies, and straggler detection.
+//
+// Subclasses implement try_dispatch(): examine cluster state, pick tasks,
+// call launch_task(). Dispatch is requested (coalesced into a single event
+// at the current simulation time) whenever anything changes: stage
+// submission, task completion/failure, heartbeat, executor restart.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "exec/executor.hpp"
+#include "metrics/event_trace.hpp"
+#include "simcore/simulator.hpp"
+#include "tasks/locality.hpp"
+#include "tasks/task_set.hpp"
+
+namespace rupam {
+
+struct SchedulerEnv {
+  Simulator* sim = nullptr;
+  Cluster* cluster = nullptr;
+  /// One executor per node, indexed by NodeId.
+  std::vector<Executor*> executors;
+};
+
+/// Spark's speculative-execution knobs (spark.speculation.*).
+struct SpeculationConfig {
+  bool enabled = true;
+  SimTime interval = 1.0;    // check period
+  double quantile = 0.75;    // fraction of tasks that must have finished
+  double multiplier = 1.5;   // straggler = runtime > multiplier * median
+};
+
+class SchedulerBase {
+ public:
+  using PartitionSuccessFn =
+      std::function<void(StageId stage, int partition, const TaskMetrics&)>;
+
+  explicit SchedulerBase(SchedulerEnv env);
+  virtual ~SchedulerBase();
+
+  SchedulerBase(const SchedulerBase&) = delete;
+  SchedulerBase& operator=(const SchedulerBase&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Entry point from the DAG scheduler.
+  void submit(const TaskSet& task_set);
+  /// Entry point from the heartbeat service.
+  virtual void on_heartbeat(const NodeMetrics& metrics);
+
+  void set_partition_success_handler(PartitionSuccessFn fn) {
+    on_partition_success_ = std::move(fn);
+  }
+  void configure_speculation(SpeculationConfig cfg) { speculation_ = cfg; }
+  /// Optional structured event trace (not owned; may be null).
+  void set_trace(EventTrace* trace) { trace_ = trace; }
+
+  /// Successful task attempts, in completion order (feeds every figure).
+  const std::vector<TaskMetrics>& completed() const { return completed_; }
+  /// Failed attempts (OOM, executor loss) — not straggler relocations.
+  const std::vector<TaskMetrics>& failures() const { return failed_; }
+  std::size_t straggler_copies() const { return straggler_copies_; }
+  std::size_t relocations() const { return relocations_; }
+  std::size_t active_stages() const { return stages_.size(); }
+
+ protected:
+  struct Attempt {
+    AttemptId id = 0;
+    NodeId node = kInvalidNode;
+    bool gpu = false;
+    /// Resource queue this attempt was dispatched from (RUPAM admission
+    /// accounting; Spark leaves it at the default).
+    ResourceKind kind = ResourceKind::kCpu;
+    std::shared_ptr<TaskExecution> exec;
+  };
+  struct TaskState {
+    TaskSpec spec;
+    SimTime submit_time = 0.0;
+    bool pending = true;  // needs a (re)launch of the primary attempt
+    bool finished = false;
+    int failures = 0;
+    /// Retry backoff after failures: not relaunchable before this time.
+    SimTime not_before = 0.0;
+    AttemptId next_attempt = 0;
+    std::vector<Attempt> live;
+
+    bool has_attempt_on(NodeId node) const;
+    bool has_gpu_attempt() const;
+  };
+  struct StageState {
+    TaskSet set;
+    SimTime submit_time = 0.0;
+    std::vector<TaskState> tasks;
+    std::size_t remaining = 0;
+    std::vector<double> finished_runtimes;
+    // Spark delay-scheduling state.
+    int allowed_locality = 0;
+    SimTime last_launch = 0.0;
+  };
+
+  /// Subclass hook: launch whatever fits right now.
+  virtual void try_dispatch() = 0;
+  /// Subclass hooks around the task life cycle.
+  virtual void stage_submitted(StageState& stage) { (void)stage; }
+  virtual void task_succeeded(StageState& stage, TaskState& task, const TaskMetrics& metrics) {
+    (void)stage, (void)task, (void)metrics;
+  }
+  virtual void task_failed(StageState& stage, TaskState& task, const std::string& reason) {
+    (void)stage, (void)task, (void)reason;
+  }
+  virtual void task_relaunchable(StageState& stage, TaskState& task) {
+    (void)stage, (void)task;
+  }
+
+  /// Launch an attempt of `task` on `node`. `speculative` marks extra
+  /// copies (primary pending flag untouched). Returns false if the
+  /// executor is down. `kind` tags the attempt for per-resource admission
+  /// accounting.
+  bool launch_task(StageState& stage, TaskState& task, NodeId node, bool use_gpu,
+                   bool speculative, ResourceKind kind = ResourceKind::kCpu);
+
+  /// Kill a running attempt and put the task back in the pending pool
+  /// (RUPAM's straggler relocation, §III-C3). Returns false if not running.
+  bool relocate_task(StageState& stage, TaskState& task, const std::string& reason);
+
+  Locality locality_for(const TaskSpec& spec, NodeId node) const;
+  Executor* executor(NodeId node) const;
+  /// Task is waiting for its primary attempt and past any retry backoff.
+  bool launchable(const TaskState& task) const;
+  Simulator& sim() const { return *env_.sim; }
+  Cluster& cluster() const { return *env_.cluster; }
+
+  /// Coalesced dispatch request.
+  void request_dispatch();
+
+  /// Tasks eligible for a speculative copy right now: (stage, task index).
+  std::vector<std::pair<StageId, std::size_t>> find_speculatable();
+  /// Records that a speculative copy was launched (stats + dedup).
+  void note_speculative_launch(TaskId task);
+
+  SchedulerEnv env_;
+  std::map<StageId, StageState> stages_;
+  SpeculationConfig speculation_;
+
+ private:
+  void handle_success(StageId stage_id, std::size_t task_index, AttemptId attempt,
+                      const TaskMetrics& metrics);
+  void handle_failure(StageId stage_id, std::size_t task_index, AttemptId attempt,
+                      const std::string& reason);
+  void speculation_tick();
+
+  void trace(TraceEventType type, StageId stage, TaskId task, AttemptId attempt, NodeId node,
+             std::string detail, SimTime duration = 0.0);
+
+  PartitionSuccessFn on_partition_success_;
+  EventTrace* trace_ = nullptr;
+  std::vector<TaskMetrics> completed_;
+  std::vector<TaskMetrics> failed_;
+  std::set<TaskId> speculated_;
+  std::size_t straggler_copies_ = 0;
+  std::size_t relocations_ = 0;
+  bool dispatch_requested_ = false;
+  EventHandle speculation_timer_;
+};
+
+}  // namespace rupam

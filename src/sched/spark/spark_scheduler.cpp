@@ -1,0 +1,96 @@
+#include "sched/spark/spark_scheduler.hpp"
+
+#include <algorithm>
+
+#include "sched/offers.hpp"
+
+namespace rupam {
+
+SparkScheduler::SparkScheduler(SchedulerEnv env) : SparkScheduler(std::move(env), Config()) {}
+
+SparkScheduler::SparkScheduler(SchedulerEnv env, Config config)
+    : SchedulerBase(std::move(env)), config_(config) {}
+
+Locality SparkScheduler::allowed_level(StageState& stage) const {
+  // Walk the stage's achievable levels; each level is granted
+  // `locality_wait` seconds since the last launch before relaxing.
+  std::vector<Locality> levels = valid_locality_levels(stage.set);
+  SimTime reference = std::max(stage.submit_time, stage.last_launch);
+  SimTime waited = sim().now() - reference;
+  auto hops = config_.locality_wait > 0.0
+                  ? static_cast<std::size_t>(waited / config_.locality_wait)
+                  : levels.size();
+  std::size_t idx = std::min(hops, levels.size() - 1);
+  return levels[idx];
+}
+
+SparkScheduler::Candidate SparkScheduler::pick_task_for(NodeId node) {
+  Candidate best;
+  for (auto& [stage_id, stage] : stages_) {  // map order == submission order
+    Locality allowed = allowed_level(stage);
+    Candidate stage_best;
+    for (auto& task : stage.tasks) {
+      if (!launchable(task)) continue;
+      Locality loc = locality_for(task.spec, node);
+      if (!locality_at_least(loc, allowed)) continue;
+      if (stage_best.task == nullptr ||
+          static_cast<int>(loc) < static_cast<int>(stage_best.locality)) {
+        stage_best = Candidate{&stage, &task, loc};
+      }
+      if (stage_best.locality == Locality::kProcessLocal) break;
+    }
+    if (stage_best.task != nullptr) return stage_best;  // FIFO across stages
+  }
+  return best;
+}
+
+void SparkScheduler::try_dispatch() {
+  auto ids = cluster().node_ids();
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      // Rotate the starting node between rounds: Spark shuffles offers so
+      // one node does not soak up every wave.
+      NodeId node = ids[(i + offer_rotation_) % ids.size()];
+      Executor* exec = executor(node);
+      if (exec == nullptr || exec->free_slots() <= 0) continue;
+      Candidate c = pick_task_for(node);
+      if (c.task == nullptr) continue;
+      // Spark tries the GPU path whenever the application's library would
+      // (it has no device awareness; contention falls back to CPU inside
+      // the executor).
+      if (launch_task(*c.stage, *c.task, node, c.task->spec.gpu_accelerable,
+                      /*speculative=*/false)) {
+        progressed = true;
+      }
+    }
+    ++offer_rotation_;
+  }
+  if (launch_speculative_copies()) {
+    // A speculative launch can free no slot, so no re-loop is needed.
+  }
+}
+
+bool SparkScheduler::launch_speculative_copies() {
+  bool launched = false;
+  for (auto [stage_id, task_index] : find_speculatable()) {
+    auto it = stages_.find(stage_id);
+    if (it == stages_.end()) continue;
+    StageState& stage = it->second;
+    TaskState& task = stage.tasks[task_index];
+    for (NodeId node : cluster().node_ids()) {
+      Executor* exec = executor(node);
+      if (exec == nullptr || exec->free_slots() <= 0) continue;
+      if (task.has_attempt_on(node)) continue;  // copy must land elsewhere
+      if (launch_task(stage, task, node, task.spec.gpu_accelerable, /*speculative=*/true)) {
+        note_speculative_launch(task.spec.id);
+        launched = true;
+        break;
+      }
+    }
+  }
+  return launched;
+}
+
+}  // namespace rupam

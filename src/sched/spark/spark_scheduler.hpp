@@ -1,0 +1,50 @@
+// Default Spark task scheduler (the paper's baseline).
+//
+// Semantics reproduced from Spark 2.2:
+//  * one task per CPU core — a node is schedulable iff it has a free slot;
+//  * purely locality-driven task choice with delay scheduling
+//    (spark.locality.wait per level, only over levels the set can achieve);
+//  * no awareness of memory, disk type, network speed, or GPUs;
+//  * static executor sizing (the application sets one heap size that must
+//    fit the weakest node — see SimulationConfig);
+//  * speculative execution (spark.speculation) re-launches stragglers on
+//    any node with a free slot.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace rupam {
+
+class SparkScheduler : public SchedulerBase {
+ public:
+  struct Config {
+    /// spark.locality.wait — dwell time per locality level.
+    SimTime locality_wait = 3.0;
+  };
+
+  explicit SparkScheduler(SchedulerEnv env);
+  SparkScheduler(SchedulerEnv env, Config config);
+
+  std::string name() const override { return "Spark"; }
+
+ protected:
+  void try_dispatch() override;
+
+ private:
+  struct Candidate {
+    StageState* stage = nullptr;
+    TaskState* task = nullptr;
+    Locality locality = Locality::kAny;
+  };
+
+  /// Best pending task for `node` across active stages (FIFO stage order),
+  /// honoring each stage's currently allowed locality level.
+  Candidate pick_task_for(NodeId node);
+  Locality allowed_level(StageState& stage) const;
+  bool launch_speculative_copies();
+
+  Config config_;
+  std::size_t offer_rotation_ = 0;
+};
+
+}  // namespace rupam

@@ -1,0 +1,62 @@
+#include "simcore/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rupam {
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const { return state_ && !state_->cancelled && !state_->fired; }
+
+EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) throw std::invalid_argument("schedule_at: time in the past");
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Event{when, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+EventHandle Simulator::schedule_after(SimTime delay, Callback fn) {
+  if (delay < 0.0) throw std::invalid_argument("schedule_after: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.state->cancelled) continue;
+    now_ = ev.time;
+    ev.state->fired = true;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(SimTime until) {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    // Peek past cancelled events without executing them.
+    const Event& top = queue_.top();
+    if (top.state->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.time > until) break;
+    if (step()) ++count;
+  }
+  if (now_ < until && until < kForever) now_ = until;
+  return count;
+}
+
+bool Simulator::empty() const {
+  // Note: may report false when only cancelled events remain; run() skips
+  // those, so callers that loop on run() terminate regardless.
+  return queue_.empty();
+}
+
+}  // namespace rupam

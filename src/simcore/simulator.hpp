@@ -1,0 +1,87 @@
+// Discrete-event simulation kernel.
+//
+// Components schedule callbacks at absolute or relative simulated times and
+// may cancel them (resource models reschedule completion events whenever the
+// set of contending claims changes). Event ordering is (time, insertion
+// sequence), so same-time events run in FIFO order and runs are fully
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rupam {
+
+class Simulator;
+
+/// Cancellation token for a scheduled event. Default-constructed handles are
+/// inert; cancel() on an already-fired or cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel();
+  bool pending() const;
+
+ private:
+  friend class Simulator;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `when` (>= now()).
+  EventHandle schedule_at(SimTime when, Callback fn);
+  /// Schedule `fn` `delay` seconds from now (delay >= 0).
+  EventHandle schedule_after(SimTime delay, Callback fn);
+
+  /// Run until the event queue drains or `until` is reached, whichever is
+  /// first. Returns the number of events executed.
+  std::size_t run(SimTime until = kForever);
+  /// Execute at most one event. Returns false if the queue is empty.
+  bool step();
+
+  bool empty() const;
+  std::size_t executed_events() const { return executed_; }
+
+  static constexpr SimTime kForever = 1e300;
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace rupam

@@ -1,0 +1,62 @@
+#include "simcore/timeseries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rupam {
+
+void TimeSeries::add(SimTime time, double value) {
+  if (!points_.empty() && time < points_.back().time) {
+    throw std::invalid_argument("TimeSeries: non-monotonic timestamp");
+  }
+  points_.push_back({time, value});
+}
+
+double TimeSeries::mean() const {
+  RunningStats s;
+  for (const auto& p : points_) s.add(p.value);
+  return s.mean();
+}
+
+double TimeSeries::max() const {
+  double m = 0.0;
+  for (const auto& p : points_) m = std::max(m, p.value);
+  return m;
+}
+
+std::vector<double> TimeSeries::resample(SimTime dt, SimTime horizon) const {
+  if (dt <= 0.0) throw std::invalid_argument("resample: dt must be > 0");
+  auto buckets = static_cast<std::size_t>(horizon / dt) + 1;
+  std::vector<double> sums(buckets, 0.0);
+  std::vector<std::size_t> counts(buckets, 0);
+  for (const auto& p : points_) {
+    auto b = static_cast<std::size_t>(p.time / dt);
+    if (b >= buckets) continue;
+    sums[b] += p.value;
+    ++counts[b];
+  }
+  std::vector<double> out(buckets, 0.0);
+  double last = 0.0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (counts[b] > 0) last = sums[b] / static_cast<double>(counts[b]);
+    out[b] = last;
+  }
+  return out;
+}
+
+std::vector<double> cross_series_stddev(const std::vector<std::vector<double>>& series) {
+  if (series.empty()) return {};
+  std::size_t len = series.front().size();
+  for (const auto& s : series) {
+    if (s.size() != len) throw std::invalid_argument("cross_series_stddev: unaligned series");
+  }
+  std::vector<double> out(len, 0.0);
+  for (std::size_t t = 0; t < len; ++t) {
+    RunningStats st;
+    for (const auto& s : series) st.add(s[t]);
+    out[t] = st.stddev();
+  }
+  return out;
+}
+
+}  // namespace rupam

@@ -1,0 +1,42 @@
+// Time-series recording for utilization plots (Figs 2, 8, 9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace rupam {
+
+/// A (time, value) series with helpers the figure harnesses need:
+/// per-bucket resampling, means, and cross-series stddev.
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime time;
+    double value;
+  };
+
+  void add(SimTime time, double value);
+
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  double mean() const;
+  double max() const;
+
+  /// Average `value` within consecutive buckets of width `dt` covering
+  /// [0, horizon). Buckets with no samples carry the previous bucket value.
+  std::vector<double> resample(SimTime dt, SimTime horizon) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Per-timestep standard deviation across N aligned series (Fig 9: the
+/// utilization balance across cluster nodes).
+std::vector<double> cross_series_stddev(const std::vector<std::vector<double>>& series);
+
+}  // namespace rupam

@@ -1,0 +1,15 @@
+#include "tasks/locality.hpp"
+
+namespace rupam {
+
+Locality locality_of(const TaskSpec& task, NodeId node, const CacheProbe& cache_probe) {
+  if (!task.input_cache_key.empty() && cache_probe && cache_probe(node, task.input_cache_key)) {
+    return Locality::kProcessLocal;
+  }
+  if (task.prefers(node)) return Locality::kNodeLocal;
+  // Result tasks with no block preference read shuffle output from
+  // everywhere: treat as ANY (matches Spark's no-pref semantics).
+  return Locality::kAny;
+}
+
+}  // namespace rupam

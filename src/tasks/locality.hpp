@@ -1,0 +1,25 @@
+// Data-locality computation (Spark's PROCESS/NODE/RACK/ANY ladder).
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "tasks/task.hpp"
+
+namespace rupam {
+
+/// Answers "does node N hold cached block K in its executor?"
+using CacheProbe = std::function<bool(NodeId, const std::string&)>;
+
+/// Locality of running `task` on `node`. PROCESS_LOCAL requires the input
+/// RDD block cached in that node's executor; NODE_LOCAL requires the input
+/// block on the node's storage. Single-rack cluster: RACK_LOCAL never
+/// occurs (paper Table V note: "all workloads have zero RACK_LOCAL tasks").
+Locality locality_of(const TaskSpec& task, NodeId node, const CacheProbe& cache_probe);
+
+/// True when `a` is at least as good (as local) as `b`.
+inline bool locality_at_least(Locality a, Locality b) {
+  return static_cast<int>(a) <= static_cast<int>(b);
+}
+
+}  // namespace rupam

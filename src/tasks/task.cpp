@@ -1,0 +1,22 @@
+#include "tasks/task.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rupam {
+
+bool TaskSpec::prefers(NodeId node) const {
+  return std::find(preferred_nodes.begin(), preferred_nodes.end(), node) !=
+         preferred_nodes.end();
+}
+
+std::string TaskSpec::describe() const {
+  std::ostringstream oss;
+  oss << "task " << id << " [" << stage_name << "#" << partition << "]"
+      << (is_shuffle_map ? " map" : " result") << " compute=" << compute
+      << " shufR=" << shuffle_read_bytes << " shufW=" << shuffle_write_bytes
+      << " mem=" << peak_memory << (gpu_accelerable ? " gpu" : "");
+  return oss.str();
+}
+
+}  // namespace rupam

@@ -1,0 +1,78 @@
+// Task description: the unit of scheduling.
+//
+// A task is one partition's worth of a stage. Its resource demands are the
+// quantities the paper's Task Manager observes (Table I, right side): input
+// and shuffle volumes, compute work, peak memory, and GPU affinity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rupam {
+
+struct TaskSpec {
+  TaskId id = 0;
+  JobId job = 0;
+  StageId stage = 0;
+  /// Stable stage identity across jobs/iterations — the key space of
+  /// DB_task_char is (application, stage name, partition).
+  std::string stage_name;
+  int partition = 0;
+
+  /// ShuffleMapTask (map side) vs ResultTask (reduce/collect side).
+  bool is_shuffle_map = true;
+
+  /// Input read from stable storage (0 for purely shuffle-fed stages).
+  Bytes input_bytes = 0.0;
+  /// Cache key of the input RDD partition, empty when the input is not a
+  /// cached RDD. A hit in the local executor makes the read PROCESS_LOCAL.
+  std::string input_cache_key;
+
+  /// Shuffle fetch volume and how much of it crosses the network.
+  Bytes shuffle_read_bytes = 0.0;
+  double shuffle_remote_fraction = 0.0;
+
+  /// CPU demand in core-seconds at the reference clock.
+  CpuWork compute = 0.0;
+  /// Fraction of compute time that is (de)serialization (Fig 3 category).
+  double serialization_fraction = 0.1;
+
+  Bytes shuffle_write_bytes = 0.0;
+  /// Result bytes sent back to the driver (ResultTask).
+  Bytes output_bytes = 0.0;
+
+  /// Peak *managed* execution memory (Spark's memory manager arbitrates
+  /// this part: a shortfall makes the task spill to disk, never die).
+  Bytes peak_memory = 64.0 * 1024 * 1024;
+  /// Unmanaged (user-object) memory the JVM cannot arbitrate — join rows,
+  /// adjacency structures. This is the part that OOM-kills tasks and, at
+  /// scale, whole executors (the paper's PageRank failures under Spark).
+  Bytes unmanaged_memory = 0.0;
+  /// Opportunistic extra memory: fraction of the executor's free heap the
+  /// task will additionally grab (hash joins / aggregations expand to the
+  /// room they find — this is why RUPAM's bigger executors show higher
+  /// memory usage in Fig 8(b)).
+  double elastic_memory_fraction = 0.0;
+
+  /// Full footprint — what RUPAM's memory guard checks (Table I
+  /// peakmemory covers everything the task touches).
+  Bytes total_memory() const { return peak_memory + unmanaged_memory; }
+
+  bool gpu_accelerable = false;
+  /// Compute speedup when run on one GPU vs one reference core.
+  double gpu_speedup = 12.0;
+
+  /// Output block to pin in the executor cache (iterative workloads).
+  std::string cache_output_key;
+  Bytes cache_output_bytes = 0.0;
+
+  /// Nodes holding this task's input block(s).
+  std::vector<NodeId> preferred_nodes;
+
+  bool prefers(NodeId node) const;
+  std::string describe() const;
+};
+
+}  // namespace rupam

@@ -1,0 +1,11 @@
+#include "tasks/task_metrics.hpp"
+
+#include <algorithm>
+
+namespace rupam {
+
+SimTime TaskMetrics::dominant_io_time() const {
+  return std::max(shuffle_read_time, shuffle_write_time);
+}
+
+}  // namespace rupam

@@ -1,0 +1,48 @@
+// Per-attempt execution metrics, mirroring what Spark's listener bus exposes
+// and what RUPAM's Task Manager records (Table I, right side).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace rupam {
+
+struct TaskMetrics {
+  TaskId task = 0;
+  StageId stage = 0;
+  std::string stage_name;
+  int partition = 0;
+  NodeId node = kInvalidNode;
+  Locality locality = Locality::kAny;
+
+  SimTime submit_time = 0.0;  // entered the scheduler
+  SimTime launch_time = 0.0;  // started on an executor
+  SimTime finish_time = 0.0;
+
+  SimTime scheduler_delay = 0.0;
+  SimTime input_read_time = 0.0;    // folded into compute in Spark's UI
+  SimTime shuffle_read_time = 0.0;  // network + local-disk fetch
+  SimTime compute_time = 0.0;       // includes (de)serialization, per paper
+  SimTime serialization_time = 0.0;
+  SimTime gc_time = 0.0;
+  SimTime shuffle_write_time = 0.0;
+  SimTime output_time = 0.0;  // result transfer to driver
+
+  /// Split of I/O wait by medium, for Fig 7's shuffle-disk / shuffle-net.
+  SimTime shuffle_net_time = 0.0;
+  SimTime shuffle_disk_time = 0.0;
+
+  Bytes peak_memory = 0.0;
+  bool used_gpu = false;
+  bool failed = false;
+  std::string failure_reason;
+
+  SimTime run_time() const { return finish_time - launch_time; }
+  SimTime total_time() const { return finish_time - submit_time; }
+
+  /// The dominant resource implied by this attempt (paper Algorithm 1 input).
+  SimTime dominant_io_time() const;
+};
+
+}  // namespace rupam

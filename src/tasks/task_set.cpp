@@ -1,0 +1,23 @@
+#include "tasks/task_set.hpp"
+
+#include <stdexcept>
+
+namespace rupam {
+
+void TaskSet::validate() const {
+  for (const auto& t : tasks) {
+    if (t.stage != stage) throw std::invalid_argument("TaskSet: task stage mismatch");
+    if (t.compute < 0.0 || t.input_bytes < 0.0 || t.shuffle_read_bytes < 0.0 ||
+        t.shuffle_write_bytes < 0.0 || t.output_bytes < 0.0 || t.peak_memory < 0.0) {
+      throw std::invalid_argument("TaskSet: negative resource demand");
+    }
+    if (t.shuffle_remote_fraction < 0.0 || t.shuffle_remote_fraction > 1.0) {
+      throw std::invalid_argument("TaskSet: bad shuffle_remote_fraction");
+    }
+    if (t.serialization_fraction < 0.0 || t.serialization_fraction > 1.0) {
+      throw std::invalid_argument("TaskSet: bad serialization_fraction");
+    }
+  }
+}
+
+}  // namespace rupam

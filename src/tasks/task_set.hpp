@@ -1,0 +1,26 @@
+// A TaskSet is all tasks of one stage attempt, handed from the DAG
+// scheduler to the task scheduler (mirrors Spark's TaskSet).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tasks/task.hpp"
+
+namespace rupam {
+
+struct TaskSet {
+  JobId job = 0;
+  StageId stage = 0;
+  std::string stage_name;
+  bool is_shuffle_map = true;
+  std::vector<TaskSpec> tasks;
+
+  std::size_t size() const { return tasks.size(); }
+  bool empty() const { return tasks.empty(); }
+
+  /// Sanity checks (consistent ids, nonnegative demands). Throws on error.
+  void validate() const;
+};
+
+}  // namespace rupam

@@ -1,0 +1,47 @@
+// Gramian Matrix (A^T * A over an 8K x 8K matrix): the single-pass
+// GPU-accelerable kernel from the paper's BLAS study [37]. One job, one
+// wave — DB_task_char never warms up, so RUPAM barely beats default Spark
+// here (the paper reports only +1.4%).
+#include "workloads/presets.hpp"
+
+namespace rupam {
+
+Application make_gramian(const std::vector<NodeId>& nodes, const WorkloadParams& params) {
+  Application app;
+  app.name = "GM";
+  WorkloadBuilder builder(nodes, params.seed, params.placement_weights);
+
+  int blocks = std::max(32, static_cast<int>(params.input_gb * 96.0));
+  Bytes part_bytes = params.input_gb * kGiB / blocks;
+
+  JobProfile job;
+  job.name = "gramian";
+  StageProfile multiply;
+  multiply.name = "gm-block-multiply";
+  multiply.num_tasks = blocks;
+  multiply.reads_blocks = true;
+  multiply.input_bytes = part_bytes;
+  multiply.compute = 60.0;  // dense BLAS-3 kernel
+  multiply.gpu = true;
+  multiply.gpu_speedup = 10.0;
+  multiply.shuffle_write_bytes = 20.0 * kMiB;
+  multiply.peak_memory = 1.2 * kGiB;
+  multiply.skew_cv = 0.1;
+  job.stages.push_back(multiply);
+
+  StageProfile reduce;
+  reduce.name = "gm-reduce";
+  reduce.num_tasks = 32;
+  reduce.is_shuffle_map = false;
+  reduce.shuffle_read_bytes = 20.0 * kMiB * blocks / 32.0;
+  reduce.compute = 8.0;
+  reduce.output_bytes = 12.0 * kMiB;
+  reduce.peak_memory = 1.0 * kGiB;
+  reduce.parents = {0};
+  job.stages.push_back(reduce);
+  builder.add_job(app, job);
+  app.validate();
+  return app;
+}
+
+}  // namespace rupam

@@ -1,0 +1,66 @@
+// KMeans: GPU-accelerable iterative clustering. Distance computation per
+// iteration can run on a GPU (NVBLAS-style) or on the CPU; with repeating
+// stage names RUPAM learns the GPU affinity after the first round and
+// races CPU copies when devices are busy — the paper reports 2.49x.
+#include "workloads/presets.hpp"
+
+namespace rupam {
+
+Application make_kmeans(const std::vector<NodeId>& nodes, const WorkloadParams& params) {
+  Application app;
+  app.name = "KMeans";
+  WorkloadBuilder builder(nodes, params.seed, params.placement_weights);
+
+  int partitions = std::max(64, static_cast<int>(params.input_gb * 64.0));
+  Bytes part_bytes = params.input_gb * kGiB / partitions;
+
+  JobProfile load;
+  load.name = "km-load";
+  StageProfile load_map;
+  load_map.name = "km-load";
+  load_map.num_tasks = partitions;
+  load_map.reads_blocks = true;
+  load_map.input_bytes = part_bytes;
+  load_map.compute = 8.0;
+  load_map.shuffle_write_bytes = 1.0 * kMiB;
+  load_map.peak_memory = 512.0 * kMiB;
+  load_map.caches_output = "km_points";
+  load_map.cache_bytes = part_bytes * 5.0;
+  load.stages.push_back(load_map);
+  builder.add_job(app, load);
+
+  for (int it = 0; it < std::max(1, params.iterations); ++it) {
+    JobProfile iter;
+    iter.name = "km-iteration-" + std::to_string(it);
+
+    StageProfile assign;
+    assign.name = "km-assign";
+    assign.num_tasks = partitions;
+    assign.reads_cached = "km_points";
+    assign.input_bytes = part_bytes * 5.0;
+    assign.compute = 80.0;  // distance kernel: BLAS-friendly
+    assign.gpu = true;
+    assign.gpu_speedup = 12.0;
+    assign.shuffle_write_bytes = 1.5 * kMiB;
+    assign.peak_memory = 512.0 * kMiB;
+    assign.skew_cv = 0.25;
+    assign.heavy_tail = 0.08;
+    iter.stages.push_back(assign);
+
+    StageProfile update;
+    update.name = "km-update";
+    update.num_tasks = 16;
+    update.is_shuffle_map = false;
+    update.shuffle_read_bytes = 1.5 * kMiB * partitions / 16.0;
+    update.compute = 1.5;
+    update.output_bytes = 1.0 * kMiB;
+    update.peak_memory = 256.0 * kMiB;
+    update.parents = {0};
+    iter.stages.push_back(update);
+    builder.add_job(app, iter);
+  }
+  app.validate();
+  return app;
+}
+
+}  // namespace rupam

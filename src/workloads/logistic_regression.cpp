@@ -1,0 +1,72 @@
+// Logistic Regression (SparkBench "LR"): the canonical iterative ML
+// workload. One load job caches the training points; every following
+// iteration is a compute-dominated gradient map over the cached RDD plus
+// a small tree-aggregation. Stage names repeat across iterations, so
+// DB_task_char warms up — this workload drives Fig 6.
+#include "workloads/presets.hpp"
+
+namespace rupam {
+
+Application make_logistic_regression(const std::vector<NodeId>& nodes,
+                                     const WorkloadParams& params) {
+  Application app;
+  app.name = "LR";
+  WorkloadBuilder builder(nodes, params.seed, params.placement_weights);
+
+  int partitions = std::max(64, static_cast<int>(params.input_gb * 64.0));
+  Bytes part_bytes = params.input_gb * kGiB / partitions;
+
+  // Load + first pass: read from blocks, deserialize, cache.
+  JobProfile load;
+  load.name = "lr-load";
+  StageProfile load_map;
+  load_map.name = "lr-load";
+  load_map.num_tasks = partitions;
+  load_map.reads_blocks = true;
+  load_map.input_bytes = part_bytes;
+  load_map.compute = 12.0;
+  load_map.shuffle_write_bytes = 1.0 * kMiB;
+  load_map.peak_memory = 512.0 * kMiB;
+  load_map.caches_output = "lr_points";
+  load_map.cache_bytes = part_bytes * 5.0;  // boxed-object expansion of raw rows
+  load_map.skew_cv = 0.25;
+  load.stages.push_back(load_map);
+
+  StageProfile load_agg;
+  load_agg.name = "lr-aggregate";
+  load_agg.num_tasks = 24;
+  load_agg.is_shuffle_map = false;
+  load_agg.compute = 1.5;
+  load_agg.shuffle_read_bytes = static_cast<double>(partitions) / 24.0 * 1.0 * kMiB;
+  load_agg.output_bytes = 1.0 * kMiB;
+  load_agg.peak_memory = 256.0 * kMiB;
+  load_agg.parents = {0};
+  load.stages.push_back(load_agg);
+  builder.add_job(app, load);
+
+  // Gradient iterations over the cached points.
+  for (int it = 1; it < std::max(1, params.iterations); ++it) {
+    JobProfile iter;
+    iter.name = "lr-iteration-" + std::to_string(it);
+    StageProfile grad;
+    grad.name = "lr-gradient";  // stable name: DB_task_char key
+    grad.num_tasks = partitions;
+    grad.reads_cached = "lr_points";
+    grad.input_bytes = part_bytes * 5.0;
+    grad.compute = 30.0;
+    grad.shuffle_write_bytes = 1.0 * kMiB;
+    grad.peak_memory = 640.0 * kMiB;
+    grad.skew_cv = 0.3;
+    grad.heavy_tail = 0.08;  // hot partitions dominate the wave
+    iter.stages.push_back(grad);
+
+    StageProfile agg = load_agg;  // same shape & name every iteration
+    agg.parents = {0};
+    iter.stages.push_back(agg);
+    builder.add_job(app, iter);
+  }
+  app.validate();
+  return app;
+}
+
+}  // namespace rupam

@@ -1,0 +1,60 @@
+// 4K x 4K dense matrix multiplication — the §II-B motivational kernel.
+// Stage structure follows the paper's Fig 2 narrative: a CPU spike and
+// network activity while partitioning the input, memory staying high
+// throughout, CPU-dominated block products late, network again in the
+// final reduce, low disk reads but visible shuffle writes.
+#include "workloads/presets.hpp"
+
+namespace rupam {
+
+Application make_matmul(const std::vector<NodeId>& nodes, const WorkloadParams& params) {
+  Application app;
+  app.name = "MatMul";
+  WorkloadBuilder builder(nodes, params.seed, params.placement_weights);
+
+  // 4K x 4K doubles = 128 MiB per input matrix.
+  int blocks = 48;
+  Bytes matrix_bytes = params.input_gb > 0.0 ? params.input_gb * kGiB : 256.0 * kMiB;
+  Bytes part_bytes = matrix_bytes / blocks;
+
+  JobProfile job;
+  job.name = "matmul";
+
+  StageProfile partition;
+  partition.name = "mm-partition";
+  partition.num_tasks = blocks;
+  partition.reads_blocks = true;
+  partition.input_bytes = part_bytes;
+  partition.compute = 8.0;  // early CPU spike: parse + block split
+  partition.shuffle_write_bytes = part_bytes * 1.5;
+  partition.peak_memory = 1.5 * kGiB;
+  partition.skew_cv = 0.1;
+  job.stages.push_back(partition);
+
+  StageProfile multiply;
+  multiply.name = "mm-multiply";
+  multiply.num_tasks = blocks;
+  multiply.shuffle_read_bytes = part_bytes * 1.5;
+  multiply.compute = 45.0;  // the actual block products dominate late
+  multiply.shuffle_write_bytes = part_bytes;
+  multiply.peak_memory = 2.5 * kGiB;
+  multiply.skew_cv = 0.15;
+  multiply.parents = {0};
+  job.stages.push_back(multiply);
+
+  StageProfile reduce;
+  reduce.name = "mm-reduce";
+  reduce.num_tasks = 12;
+  reduce.is_shuffle_map = false;
+  reduce.shuffle_read_bytes = part_bytes * blocks / 16.0;
+  reduce.compute = 3.0;
+  reduce.output_bytes = 16.0 * kMiB;  // result back to the driver
+  reduce.peak_memory = 1.0 * kGiB;
+  reduce.parents = {1};
+  job.stages.push_back(reduce);
+  builder.add_job(app, job);
+  app.validate();
+  return app;
+}
+
+}  // namespace rupam

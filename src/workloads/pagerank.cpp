@@ -1,0 +1,70 @@
+// PageRank: the memory- and shuffle-heavy iterative graph workload. Joins
+// between the cached edge list and the rank vector demand multi-GB task
+// memory — on default Spark's weakest-node-sized executors this drives
+// OOM kills and occasional whole-worker losses (the paper's 2.5x worst
+// case and its large error bars); RUPAM's memory guard + dynamic executor
+// sizing avoid them.
+#include "workloads/presets.hpp"
+
+namespace rupam {
+
+Application make_pagerank(const std::vector<NodeId>& nodes, const WorkloadParams& params) {
+  Application app;
+  app.name = "PR";
+  WorkloadBuilder builder(nodes, params.seed, params.placement_weights);
+
+  int partitions = std::max(24, static_cast<int>(params.input_gb * 80.0));
+  Bytes part_bytes = params.input_gb * kGiB / partitions;
+
+  JobProfile load;
+  load.name = "pr-load";
+  StageProfile load_map;
+  load_map.name = "pr-load";
+  load_map.num_tasks = partitions;
+  load_map.reads_blocks = true;
+  load_map.input_bytes = part_bytes;
+  load_map.compute = 5.0;
+  load_map.shuffle_write_bytes = 2.0 * kMiB;
+  load_map.peak_memory = 640.0 * kMiB;
+  load_map.caches_output = "pr_graph";
+  load_map.cache_bytes = part_bytes * 5.0;  // adjacency expansion
+  load.stages.push_back(load_map);
+  builder.add_job(app, load);
+
+  for (int it = 0; it < std::max(1, params.iterations); ++it) {
+    JobProfile iter;
+    iter.name = "pr-iteration-" + std::to_string(it);
+
+    StageProfile contrib;
+    contrib.name = "pr-contrib";
+    contrib.num_tasks = partitions;
+    contrib.reads_cached = "pr_graph";
+    contrib.input_bytes = part_bytes * 5.0;
+    contrib.compute = 10.0;
+    contrib.shuffle_write_bytes = 40.0 * kMiB;
+    contrib.peak_memory = 1.0 * kGiB;
+    contrib.unmanaged_memory = 1.0 * kGiB;  // edge/rank join rows live on the user heap
+    contrib.elastic_memory_fraction = 0.1;
+    contrib.skew_cv = 0.3;
+    contrib.heavy_tail = 0.06;  // high-degree vertices
+    iter.stages.push_back(contrib);
+
+    StageProfile rank;
+    rank.name = "pr-rank";
+    rank.num_tasks = partitions;
+    rank.is_shuffle_map = false;
+    rank.shuffle_read_bytes = 40.0 * kMiB;
+    rank.compute = 6.0;
+    rank.peak_memory = 768.0 * kMiB;
+    rank.unmanaged_memory = 512.0 * kMiB;
+    rank.output_bytes = 1.0 * kMiB;
+    rank.skew_cv = 0.3;
+    rank.parents = {0};
+    iter.stages.push_back(rank);
+    builder.add_job(app, iter);
+  }
+  app.validate();
+  return app;
+}
+
+}  // namespace rupam

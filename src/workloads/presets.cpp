@@ -1,0 +1,38 @@
+#include "workloads/presets.hpp"
+
+#include <stdexcept>
+
+namespace rupam {
+
+const std::vector<WorkloadPreset>& table3_workloads() {
+  static const std::vector<WorkloadPreset> presets = {
+      {"LR", "Logistic Regression", 6.0, 5, &make_logistic_regression},
+      {"TeraSort", "TeraSort", 40.0, 1, &make_terasort},
+      {"SQL", "SQL", 35.0, 3, &make_sql},
+      {"PR", "PageRank", 0.95, 5, &make_pagerank},
+      {"TC", "Triangle Count", 0.95, 3, &make_triangle_count},
+      {"GM", "Gramian Matrix", 0.96, 1, &make_gramian},
+      {"KMeans", "KMeans", 3.7, 5, &make_kmeans},
+  };
+  return presets;
+}
+
+const WorkloadPreset& workload_preset(const std::string& name) {
+  for (const auto& p : table3_workloads()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("workload_preset: unknown workload '" + name + "'");
+}
+
+Application build_workload(const WorkloadPreset& preset, const std::vector<NodeId>& nodes,
+                           std::uint64_t seed, int iterations_override,
+                           std::vector<double> placement_weights) {
+  WorkloadParams params;
+  params.input_gb = preset.input_gb;
+  params.iterations = iterations_override > 0 ? iterations_override : preset.iterations;
+  params.seed = seed;
+  params.placement_weights = std::move(placement_weights);
+  return preset.factory(nodes, params);
+}
+
+}  // namespace rupam

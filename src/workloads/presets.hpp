@@ -1,0 +1,74 @@
+// Workload factories (paper Table III) and the named registry the
+// benchmark harnesses use.
+//
+// Calibration note: per-task demands are expressed in reference-core
+// seconds and bytes, chosen so each workload reproduces the paper's
+// resource signature and the relative Spark-vs-RUPAM behaviour — not the
+// authors' absolute runtimes (our substrate is a simulator).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace rupam {
+
+/// Iterative ML: compute-heavy map over a cached point set per iteration,
+/// tiny gradient aggregation. Table III: 6 GB input.
+Application make_logistic_regression(const std::vector<NodeId>& nodes,
+                                     const WorkloadParams& params);
+
+/// Sort: disk-bound map (read+shuffle spill) and reduce (fetch+HDFS
+/// write). Table III: 40 GB input.
+Application make_terasort(const std::vector<NodeId>& nodes, const WorkloadParams& params);
+
+/// Analytics queries: `iterations` independent scan→join→result queries
+/// with distinct stage names (no cross-query history). Table III: 35 GB.
+Application make_sql(const std::vector<NodeId>& nodes, const WorkloadParams& params);
+
+/// Graph: memory- and shuffle-heavy iterative ranking over a cached
+/// graph. Table III: 0.95 GB (500K vertices).
+Application make_pagerank(const std::vector<NodeId>& nodes, const WorkloadParams& params);
+
+/// Graph: repeated expand/count join rounds over a cached graph.
+/// Table III: 0.95 GB (500K vertices).
+Application make_triangle_count(const std::vector<NodeId>& nodes,
+                                const WorkloadParams& params);
+
+/// GPU-accelerable single-pass kernel (A^T * A). Table III: 0.96 GB
+/// (8K x 8K matrix). One iteration — nothing for DB_task_char to learn.
+Application make_gramian(const std::vector<NodeId>& nodes, const WorkloadParams& params);
+
+/// GPU-accelerable iterative clustering over cached points. Table III:
+/// 3.7 GB input.
+Application make_kmeans(const std::vector<NodeId>& nodes, const WorkloadParams& params);
+
+/// The §II-B motivational kernel: 4K x 4K dense matrix multiplication
+/// (load → multiply → reduce), used for Fig 2's utilization timeline.
+Application make_matmul(const std::vector<NodeId>& nodes, const WorkloadParams& params);
+
+/// Table III entry: name, factory, and paper-default parameters.
+struct WorkloadPreset {
+  std::string name;        // e.g. "LR"
+  std::string long_name;   // e.g. "Logistic Regression"
+  double input_gb = 1.0;
+  int iterations = 1;
+  WorkloadFactory factory = nullptr;
+};
+
+/// The seven Table III workloads, in the paper's order.
+const std::vector<WorkloadPreset>& table3_workloads();
+
+/// Lookup by short name ("LR", "TeraSort", "SQL", "PR", "TC", "GM",
+/// "KMeans"). Throws on unknown names.
+const WorkloadPreset& workload_preset(const std::string& name);
+
+/// Build a preset's application with a given seed (and optional iteration
+/// override, used by the Fig 6 sweep). `placement_weights`, when given,
+/// bias HDFS-style block placement per node (see place_blocks).
+Application build_workload(const WorkloadPreset& preset, const std::vector<NodeId>& nodes,
+                           std::uint64_t seed, int iterations_override = 0,
+                           std::vector<double> placement_weights = {});
+
+}  // namespace rupam

@@ -1,0 +1,39 @@
+#include "workloads/skew.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rupam {
+
+double skew_factor(Rng& rng, double cv, double heavy_tail) {
+  if (cv < 0.0) throw std::invalid_argument("skew_factor: negative cv");
+  double factor = 1.0;
+  if (cv > 0.0) {
+    // Lognormal with E[X] = 1: mu = -sigma^2 / 2.
+    double sigma = std::sqrt(std::log(1.0 + cv * cv));
+    factor = rng.lognormal(-0.5 * sigma * sigma, sigma);
+  }
+  if (heavy_tail > 0.0 && rng.uniform() < heavy_tail) factor *= 4.0;
+  return factor;
+}
+
+std::vector<double> zipf_partition_sizes(Rng& rng, std::size_t partitions, double total,
+                                         double exponent) {
+  if (partitions == 0) throw std::invalid_argument("zipf_partition_sizes: no partitions");
+  std::vector<double> weights(partitions);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < partitions; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    sum += weights[i];
+  }
+  // Shuffle which partition gets which rank so the hot partition's id is
+  // not always 0 (deterministic Fisher-Yates).
+  for (std::size_t i = partitions; i > 1; --i) {
+    std::size_t j = rng.uniform_index(i);
+    std::swap(weights[i - 1], weights[j]);
+  }
+  for (auto& w : weights) w = w / sum * total;
+  return weights;
+}
+
+}  // namespace rupam

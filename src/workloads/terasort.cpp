@@ -1,0 +1,50 @@
+// TeraSort: the disk-bound sort benchmark. Map reads input blocks and
+// spills sorted runs; reduce fetches its range and writes the sorted
+// output back to stable storage. No iteration structure — RUPAM's benefit
+// comes from steering the I/O-heavy tasks to SSD nodes and limiting disk
+// stacking, hence the paper's moderate 1.32x.
+#include "workloads/presets.hpp"
+
+namespace rupam {
+
+Application make_terasort(const std::vector<NodeId>& nodes, const WorkloadParams& params) {
+  Application app;
+  app.name = "TeraSort";
+  WorkloadBuilder builder(nodes, params.seed, params.placement_weights);
+
+  int partitions = std::max(64, static_cast<int>(params.input_gb * 8.0));  // 128 MiB splits
+  Bytes part_bytes = params.input_gb * kGiB / partitions;
+
+  JobProfile job;
+  job.name = "terasort";
+  StageProfile map;
+  map.name = "ts-map";
+  map.num_tasks = partitions;
+  map.reads_blocks = true;
+  map.input_bytes = part_bytes;
+  map.compute = 6.0;
+  map.shuffle_write_bytes = part_bytes * 0.95;
+  map.peak_memory = 320.0 * kMiB;
+  map.skew_cv = 0.15;
+  job.stages.push_back(map);
+
+  StageProfile reduce;
+  reduce.name = "ts-reduce";
+  reduce.num_tasks = partitions;
+  reduce.is_shuffle_map = false;
+  reduce.shuffle_read_bytes = part_bytes * 0.95;
+  reduce.compute = 4.0;
+  reduce.shuffle_write_bytes = part_bytes;  // sorted output to local storage
+  reduce.output_bytes = 64.0 * kKiB;
+  reduce.peak_memory = 256.0 * kMiB;
+  reduce.unmanaged_memory = 128.0 * kMiB;  // hot key ranges build user-side buffers
+  reduce.skew_cv = 0.3;
+  reduce.heavy_tail = 0.05;  // hot key ranges
+  reduce.parents = {0};
+  job.stages.push_back(reduce);
+  builder.add_job(app, job);
+  app.validate();
+  return app;
+}
+
+}  // namespace rupam

@@ -1,0 +1,69 @@
+// Triangle Count: repeated expand/count join rounds over a cached graph.
+// Stage names repeat across rounds, so like the other multi-round
+// workloads it benefits from DB_task_char history (the paper's ~2.1x
+// multi-iteration group).
+#include "workloads/presets.hpp"
+
+namespace rupam {
+
+Application make_triangle_count(const std::vector<NodeId>& nodes,
+                                const WorkloadParams& params) {
+  Application app;
+  app.name = "TC";
+  WorkloadBuilder builder(nodes, params.seed, params.placement_weights);
+
+  int partitions = std::max(48, static_cast<int>(params.input_gb * 160.0));
+  Bytes part_bytes = params.input_gb * kGiB / partitions;
+
+  JobProfile load;
+  load.name = "tc-load";
+  StageProfile load_map;
+  load_map.name = "tc-load";
+  load_map.num_tasks = partitions;
+  load_map.reads_blocks = true;
+  load_map.input_bytes = part_bytes;
+  load_map.compute = 5.0;
+  load_map.shuffle_write_bytes = 2.0 * kMiB;
+  load_map.peak_memory = 512.0 * kMiB;
+  load_map.caches_output = "tc_graph";
+  load_map.cache_bytes = part_bytes * 5.0;
+  load.stages.push_back(load_map);
+  builder.add_job(app, load);
+
+  int rounds = std::max(1, params.iterations);
+  for (int r = 0; r < rounds; ++r) {
+    JobProfile round;
+    round.name = "tc-round-" + std::to_string(r);
+
+    StageProfile expand;
+    expand.name = "tc-expand";  // stable across rounds
+    expand.num_tasks = partitions;
+    expand.reads_cached = "tc_graph";
+    expand.input_bytes = part_bytes * 5.0;
+    expand.compute = 16.0;
+    expand.shuffle_write_bytes = 56.0 * kMiB;
+    expand.peak_memory = 768.0 * kMiB;
+    expand.unmanaged_memory = 512.0 * kMiB;
+    expand.skew_cv = 0.35;
+    expand.heavy_tail = 0.08;
+    round.stages.push_back(expand);
+
+    StageProfile count;
+    count.name = "tc-count";
+    count.num_tasks = partitions;
+    count.is_shuffle_map = false;
+    count.shuffle_read_bytes = 56.0 * kMiB;
+    count.compute = 12.0;
+    count.peak_memory = 640.0 * kMiB;
+    count.unmanaged_memory = 384.0 * kMiB;
+    count.output_bytes = 512.0 * kKiB;
+    count.skew_cv = 0.3;
+    count.parents = {0};
+    round.stages.push_back(count);
+    builder.add_job(app, round);
+  }
+  app.validate();
+  return app;
+}
+
+}  // namespace rupam

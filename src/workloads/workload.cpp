@@ -1,0 +1,124 @@
+#include "workloads/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dag/rdd.hpp"
+#include "workloads/skew.hpp"
+
+namespace rupam {
+
+WorkloadBuilder::WorkloadBuilder(std::vector<NodeId> nodes, std::uint64_t seed,
+                                 std::vector<double> placement_weights)
+    : nodes_(std::move(nodes)),
+      placement_weights_(std::move(placement_weights)),
+      seed_(seed),
+      rng_(seed, 0x9e3779b97f4a7c15ULL) {
+  if (nodes_.empty()) throw std::invalid_argument("WorkloadBuilder: no nodes");
+  if (!placement_weights_.empty() && placement_weights_.size() != nodes_.size()) {
+    throw std::invalid_argument("WorkloadBuilder: weights/nodes size mismatch");
+  }
+}
+
+namespace {
+// FNV-1a over the stage name and partition: per-partition skew must be a
+// stable property of the *data*, identical across iterations (the same
+// hot partition is hot every pass) — that stability is what makes
+// DB_task_char's per-task history predictive.
+std::uint64_t partition_seed(std::uint64_t base, const std::string& stage_name,
+                             int partition) {
+  std::uint64_t h = 14695981039346656037ULL ^ base;
+  auto mix = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  };
+  for (char c : stage_name) mix(static_cast<unsigned char>(c));
+  for (int i = 0; i < 4; ++i) mix(static_cast<unsigned char>(partition >> (8 * i)));
+  return h;
+}
+}  // namespace
+
+TaskSpec WorkloadBuilder::build_task(const StageProfile& p, StageId stage, int partition,
+                                     const std::vector<std::vector<NodeId>>& placement) {
+  Rng task_rng(partition_seed(seed_, p.name, partition), 0x5851f42d4c957f2dULL);
+  double f = skew_factor(task_rng, p.skew_cv, p.heavy_tail);
+  TaskSpec t;
+  t.id = next_task_++;
+  t.stage = stage;
+  t.stage_name = p.name;
+  t.partition = partition;
+  t.is_shuffle_map = p.is_shuffle_map;
+  t.compute = p.compute * f;
+  t.input_bytes = p.input_bytes * f;
+  t.shuffle_read_bytes = p.shuffle_read_bytes * f;
+  t.shuffle_write_bytes = p.shuffle_write_bytes * f;
+  t.output_bytes = p.output_bytes * f;
+  // Memory footprints grow sublinearly with data skew (hash structures
+  // amortize), so damp the factor — keeps 4x compute whales from becoming
+  // unschedulable 4x memory whales.
+  double mem_f = std::sqrt(f);
+  t.peak_memory = p.peak_memory * mem_f;
+  t.unmanaged_memory = p.unmanaged_memory * mem_f;
+  t.elastic_memory_fraction = p.elastic_memory_fraction;
+  t.serialization_fraction = p.serialization_fraction;
+  t.gpu_accelerable = p.gpu;
+  t.gpu_speedup = p.gpu_speedup;
+  // In a >1 node cluster, (n-1)/n of shuffle input lives on other nodes.
+  t.shuffle_remote_fraction =
+      nodes_.size() > 1
+          ? static_cast<double>(nodes_.size() - 1) / static_cast<double>(nodes_.size())
+          : 0.0;
+  if (!placement.empty()) {
+    t.preferred_nodes = placement[static_cast<std::size_t>(partition)];
+  }
+  if (!p.reads_cached.empty()) {
+    t.input_cache_key = p.reads_cached + "_" + std::to_string(partition);
+  }
+  if (!p.caches_output.empty()) {
+    t.cache_output_key = p.caches_output + "_" + std::to_string(partition);
+    t.cache_output_bytes = p.cache_bytes * f;
+  }
+  return t;
+}
+
+void WorkloadBuilder::add_job(Application& app, const JobProfile& profile) {
+  Job job;
+  job.id = next_job_++;
+  job.name = profile.name;
+  std::vector<StageId> stage_ids(profile.stages.size());
+  for (std::size_t s = 0; s < profile.stages.size(); ++s) {
+    const StageProfile& p = profile.stages[s];
+    if (p.num_tasks <= 0) throw std::invalid_argument("StageProfile: num_tasks <= 0");
+    Stage stage;
+    stage.id = next_stage_++;
+    stage_ids[s] = stage.id;
+    stage.name = p.name;
+    stage.is_shuffle_map = p.is_shuffle_map;
+    for (int parent : p.parents) {
+      if (parent < 0 || static_cast<std::size_t>(parent) >= s) {
+        throw std::invalid_argument("StageProfile: parent must precede the stage");
+      }
+      stage.parents.push_back(stage_ids[static_cast<std::size_t>(parent)]);
+    }
+    std::vector<std::vector<NodeId>> placement;
+    if (p.reads_blocks) {
+      placement = place_blocks(static_cast<std::size_t>(p.num_tasks), nodes_, 2, rng_,
+                               placement_weights_);
+    }
+    stage.tasks.job = job.id;
+    stage.tasks.stage = stage.id;
+    stage.tasks.stage_name = p.name;
+    stage.tasks.is_shuffle_map = p.is_shuffle_map;
+    for (int i = 0; i < p.num_tasks; ++i) {
+      TaskSpec t = build_task(p, stage.id, i, placement);
+      t.job = job.id;
+      stage.tasks.tasks.push_back(std::move(t));
+    }
+    stage.validate();
+    job.stages.push_back(std::move(stage));
+  }
+  job.validate();
+  app.jobs.push_back(std::move(job));
+}
+
+}  // namespace rupam

@@ -1,0 +1,102 @@
+// Workload synthesis: SparkBench-like applications (paper Table III).
+//
+// A workload is described as stage profiles (per-task resource demands +
+// DAG wiring + skew model) from which a deterministic generator builds an
+// Application. Demands are calibrated so each workload reproduces the
+// resource signature the paper reports (e.g. PageRank = memory + shuffle
+// heavy; Gramian = single-iteration GPU compute; TeraSort = disk bound).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dag/job.hpp"
+
+namespace rupam {
+
+/// Per-task demand profile of one stage.
+struct StageProfile {
+  std::string name;
+  int num_tasks = 1;
+  bool is_shuffle_map = true;
+
+  CpuWork compute = 1.0;  // reference-core-seconds, mean
+  Bytes input_bytes = 0.0;
+  Bytes shuffle_read_bytes = 0.0;
+  Bytes shuffle_write_bytes = 0.0;
+  Bytes output_bytes = 0.0;
+  Bytes peak_memory = 64.0 * kMiB;
+  Bytes unmanaged_memory = 0.0;
+  double elastic_memory_fraction = 0.0;
+  double serialization_fraction = 0.1;
+
+  bool gpu = false;
+  double gpu_speedup = 12.0;
+
+  /// Input comes from stable-storage blocks placed across the cluster
+  /// (gives the tasks NODE_LOCAL preferences).
+  bool reads_blocks = false;
+  /// Input is a cached RDD produced earlier under this key prefix.
+  std::string reads_cached;
+  /// Output partition is cached under this key prefix.
+  std::string caches_output;
+  Bytes cache_bytes = 0.0;
+
+  /// Lognormal coefficient of variation on per-task demands (§II-B2:
+  /// tasks in one stage differ due to data skew).
+  double skew_cv = 0.2;
+  /// Fraction of tasks with ~4x demand (heavy-tail skew).
+  double heavy_tail = 0.0;
+
+  /// Parent stage indices within the same job description.
+  std::vector<int> parents;
+};
+
+/// One job = a DAG of stage profiles (indices are intra-job).
+struct JobProfile {
+  std::string name;
+  std::vector<StageProfile> stages;
+};
+
+/// Knobs shared by every generator.
+struct WorkloadParams {
+  double input_gb = 1.0;
+  int iterations = 5;
+  std::uint64_t seed = 42;
+  /// Per-node block-placement weights (HDFS stores blocks proportionally
+  /// to datanode capacity). Empty = uniform.
+  std::vector<double> placement_weights;
+};
+
+/// Stateful generator: allocates globally unique stage/task ids and owns
+/// the deterministic RNG used for skew and block placement.
+class WorkloadBuilder {
+ public:
+  WorkloadBuilder(std::vector<NodeId> nodes, std::uint64_t seed,
+                  std::vector<double> placement_weights = {});
+
+  /// Append a job built from `profile` to `app`.
+  void add_job(Application& app, const JobProfile& profile);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  TaskSpec build_task(const StageProfile& p, StageId stage, int partition,
+                      const std::vector<std::vector<NodeId>>& placement);
+
+  std::vector<NodeId> nodes_;
+  std::vector<double> placement_weights_;
+  std::uint64_t seed_;
+  Rng rng_;
+  StageId next_stage_ = 0;
+  TaskId next_task_ = 0;
+  JobId next_job_ = 0;
+};
+
+/// Factory signature every workload implements.
+using WorkloadFactory = Application (*)(const std::vector<NodeId>& nodes,
+                                        const WorkloadParams& params);
+
+}  // namespace rupam

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "exec/block_cache.hpp"
+
+namespace rupam {
+namespace {
+
+TEST(BlockCache, PutAndProbe) {
+  BlockCache cache(100.0);
+  EXPECT_DOUBLE_EQ(cache.put("a", 40.0), 0.0);
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_DOUBLE_EQ(cache.used(), 40.0);
+}
+
+TEST(BlockCache, EvictsLruToFit) {
+  BlockCache cache(100.0);
+  cache.put("a", 40.0);
+  cache.put("b", 40.0);
+  Bytes evicted = cache.put("c", 40.0);  // must evict "a" (LRU)
+  EXPECT_DOUBLE_EQ(evicted, 40.0);
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+}
+
+TEST(BlockCache, TouchRefreshesRecency) {
+  BlockCache cache(100.0);
+  cache.put("a", 40.0);
+  cache.put("b", 40.0);
+  EXPECT_TRUE(cache.touch("a"));  // "b" becomes LRU
+  cache.put("c", 40.0);
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+}
+
+TEST(BlockCache, TouchMissReturnsFalse) {
+  BlockCache cache(10.0);
+  EXPECT_FALSE(cache.touch("nope"));
+}
+
+TEST(BlockCache, OversizedBlockNotStoredNoEvictionStorm) {
+  BlockCache cache(100.0);
+  cache.put("a", 50.0);
+  EXPECT_DOUBLE_EQ(cache.put("huge", 150.0), 0.0);
+  EXPECT_FALSE(cache.contains("huge"));
+  EXPECT_TRUE(cache.contains("a"));  // nothing was evicted for it
+}
+
+TEST(BlockCache, ReplaceSameKeyUpdatesSize) {
+  BlockCache cache(100.0);
+  cache.put("a", 30.0);
+  cache.put("a", 60.0);
+  EXPECT_DOUBLE_EQ(cache.used(), 60.0);
+  EXPECT_EQ(cache.blocks(), 1u);
+}
+
+TEST(BlockCache, RemoveAndClear) {
+  BlockCache cache(100.0);
+  cache.put("a", 30.0);
+  cache.put("b", 30.0);
+  cache.remove("a");
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_DOUBLE_EQ(cache.used(), 30.0);
+  cache.remove("not-there");  // no-op
+  cache.clear();
+  EXPECT_EQ(cache.blocks(), 0u);
+  EXPECT_DOUBLE_EQ(cache.used(), 0.0);
+}
+
+TEST(BlockCache, EvictedTotalAccumulates) {
+  BlockCache cache(100.0);
+  cache.put("a", 60.0);
+  cache.put("b", 60.0);  // evicts a
+  cache.put("c", 60.0);  // evicts b
+  EXPECT_DOUBLE_EQ(cache.evicted_total(), 120.0);
+}
+
+TEST(BlockCache, RejectsNegative) {
+  EXPECT_THROW(BlockCache(-1.0), std::invalid_argument);
+  BlockCache cache(10.0);
+  EXPECT_THROW(cache.put("a", -1.0), std::invalid_argument);
+}
+
+// Property: used() never exceeds capacity, whatever the insert sequence.
+class CacheInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheInvariantTest, UsedNeverExceedsCapacity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  BlockCache cache(1000.0);
+  for (int i = 0; i < 500; ++i) {
+    cache.put("k" + std::to_string(rng.uniform_index(50)), rng.uniform(1.0, 400.0));
+    ASSERT_LE(cache.used(), cache.capacity() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheInvariantTest, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace rupam

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "app/cli.hpp"
+
+namespace rupam {
+namespace {
+
+std::optional<CliOptions> parse(std::initializer_list<const char*> args) {
+  std::ostringstream err;
+  return parse_cli(std::vector<std::string>(args.begin(), args.end()), err);
+}
+
+TEST(Cli, Defaults) {
+  auto opts = parse({});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->workload, "PR");
+  EXPECT_EQ(opts->scheduler, SchedulerKind::kRupam);
+  EXPECT_EQ(opts->repetitions, 1);
+}
+
+TEST(Cli, ParsesEverything) {
+  auto opts = parse({"--workload", "LR", "--scheduler", "spark", "--iterations", "7",
+                     "--repetitions", "3", "--seed", "42", "--sample", "--trace-csv",
+                     "/tmp/x.csv", "--trace-chrome", "/tmp/x.json"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->workload, "LR");
+  EXPECT_EQ(opts->scheduler, SchedulerKind::kSpark);
+  EXPECT_EQ(opts->iterations, 7);
+  EXPECT_EQ(opts->repetitions, 3);
+  EXPECT_EQ(opts->seed, 42u);
+  EXPECT_TRUE(opts->sample_utilization);
+  EXPECT_EQ(opts->trace_csv, "/tmp/x.csv");
+  EXPECT_EQ(opts->trace_chrome, "/tmp/x.json");
+}
+
+TEST(Cli, SchedulerNames) {
+  EXPECT_EQ(scheduler_from_name("spark"), SchedulerKind::kSpark);
+  EXPECT_EQ(scheduler_from_name("rupam"), SchedulerKind::kRupam);
+  EXPECT_EQ(scheduler_from_name("stageaware"), SchedulerKind::kStageAware);
+  EXPECT_EQ(scheduler_from_name("fifo"), SchedulerKind::kFifo);
+  EXPECT_FALSE(scheduler_from_name("yarn").has_value());
+}
+
+TEST(Cli, RejectsBadInput) {
+  EXPECT_FALSE(parse({"--scheduler", "bogus"}).has_value());
+  EXPECT_FALSE(parse({"--workload"}).has_value());       // missing value
+  EXPECT_FALSE(parse({"--repetitions", "0"}).has_value());
+  EXPECT_FALSE(parse({"--iterations", "-1"}).has_value());
+  EXPECT_FALSE(parse({"--what"}).has_value());
+}
+
+TEST(Cli, HelpAndList) {
+  std::ostringstream out, err;
+  CliOptions help;
+  help.help = true;
+  EXPECT_EQ(run_cli(help, out, err), 0);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+
+  std::ostringstream out2;
+  CliOptions list;
+  list.list_workloads = true;
+  EXPECT_EQ(run_cli(list, out2, err), 0);
+  EXPECT_NE(out2.str().find("TeraSort"), std::string::npos);
+  EXPECT_NE(out2.str().find("KMeans"), std::string::npos);
+}
+
+TEST(Cli, UnknownWorkloadFails) {
+  std::ostringstream out, err;
+  CliOptions opts;
+  opts.workload = "NotReal";
+  EXPECT_EQ(run_cli(opts, out, err), 2);
+  EXPECT_FALSE(err.str().empty());
+}
+
+TEST(Cli, RunsSmallSimulation) {
+  std::ostringstream out, err;
+  CliOptions opts;
+  opts.workload = "GM";
+  opts.scheduler = SchedulerKind::kSpark;
+  EXPECT_EQ(run_cli(opts, out, err), 0);
+  EXPECT_NE(out.str().find("makespan:"), std::string::npos);
+  EXPECT_NE(out.str().find("Gramian"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rupam

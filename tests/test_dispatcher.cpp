@@ -1,0 +1,137 @@
+// Algorithm 2 selection logic (paper) — pure-logic tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/units.hpp"
+#include "sched/rupam/dispatcher.hpp"
+
+namespace rupam {
+namespace {
+
+DispatchTaskView view(std::size_t index, Locality loc, Bytes mem = 0.0,
+                      NodeId opt = kInvalidNode, std::size_t history = 0,
+                      double cost = 0.0) {
+  DispatchTaskView v;
+  v.index = index;
+  v.locality = loc;
+  v.peak_memory = mem;
+  v.opt_executor = opt;
+  v.history_size = history;
+  v.expected_cost = cost;
+  return v;
+}
+
+TEST(Algorithm2, EmptyQueueSelectsNothing) {
+  EXPECT_FALSE(algorithm2_select({}, 0, 1e12).has_value());
+}
+
+TEST(Algorithm2, PrefersBestLocality) {
+  std::vector<DispatchTaskView> tasks{
+      view(0, Locality::kAny),
+      view(1, Locality::kNodeLocal),
+      view(2, Locality::kAny),
+  };
+  EXPECT_EQ(algorithm2_select(tasks, 0, 1e12).value(), 1u);
+}
+
+TEST(Algorithm2, ProcessLocalShortCircuits) {
+  std::vector<DispatchTaskView> tasks{
+      view(0, Locality::kNodeLocal),
+      view(1, Locality::kProcessLocal),
+      view(2, Locality::kProcessLocal),
+  };
+  EXPECT_EQ(algorithm2_select(tasks, 0, 1e12).value(), 1u);
+}
+
+TEST(Algorithm2, MemoryGuardSkipsOversizedTasks) {
+  std::vector<DispatchTaskView> tasks{
+      view(0, Locality::kProcessLocal, 10.0 * kGiB),
+      view(1, Locality::kAny, 1.0 * kGiB),
+  };
+  EXPECT_EQ(algorithm2_select(tasks, 0, 2.0 * kGiB).value(), 1u);
+}
+
+TEST(Algorithm2, MemoryGuardHeadroom) {
+  std::vector<DispatchTaskView> tasks{view(0, Locality::kAny, 1.5 * kGiB)};
+  DispatcherPolicy policy;
+  policy.memory_headroom = 1.0 * kGiB;
+  EXPECT_FALSE(algorithm2_select(tasks, 0, 2.0 * kGiB, policy).has_value());
+  policy.memory_headroom = 0.0;
+  EXPECT_TRUE(algorithm2_select(tasks, 0, 2.0 * kGiB, policy).has_value());
+}
+
+TEST(Algorithm2, FullyCharacterizedLockBypassesMemoryGuard) {
+  // The paper's exception: history covers all 5 resources and this node is
+  // the best observed executor.
+  std::vector<DispatchTaskView> tasks{
+      view(0, Locality::kAny, 10.0 * kGiB, /*opt=*/3, /*history=*/5),
+  };
+  EXPECT_EQ(algorithm2_select(tasks, 3, 1.0 * kGiB).value(), 0u);
+  // On a different node the guard still applies.
+  EXPECT_FALSE(algorithm2_select(tasks, 4, 1.0 * kGiB).has_value());
+}
+
+TEST(Algorithm2, PartialHistoryDoesNotBypassGuard) {
+  std::vector<DispatchTaskView> tasks{
+      view(0, Locality::kAny, 10.0 * kGiB, /*opt=*/3, /*history=*/3),
+  };
+  EXPECT_FALSE(algorithm2_select(tasks, 3, 1.0 * kGiB).has_value());
+}
+
+TEST(Algorithm2, LockedTaskWinsOverLocality) {
+  std::vector<DispatchTaskView> tasks{
+      view(0, Locality::kProcessLocal),
+      view(1, Locality::kAny, 0.0, /*opt=*/7, /*history=*/1),
+  };
+  EXPECT_EQ(algorithm2_select(tasks, 7, 1e12).value(), 1u);
+}
+
+TEST(Algorithm2, LptAmongLockedTasks) {
+  std::vector<DispatchTaskView> tasks{
+      view(0, Locality::kAny, 0.0, 7, 1, /*cost=*/5.0),
+      view(1, Locality::kAny, 0.0, 7, 1, /*cost=*/50.0),
+      view(2, Locality::kAny, 0.0, 7, 1, /*cost=*/20.0),
+  };
+  EXPECT_EQ(algorithm2_select(tasks, 7, 1e12).value(), 1u);
+}
+
+TEST(Algorithm2, TasksLockedElsewhereAreLastResort) {
+  std::vector<DispatchTaskView> tasks{
+      view(0, Locality::kProcessLocal, 0.0, /*opt=*/9, 1),  // locked to node 9
+      view(1, Locality::kAny),                              // free
+  };
+  // On node 2 the free ANY task beats the locked-elsewhere PROCESS task.
+  EXPECT_EQ(algorithm2_select(tasks, 2, 1e12).value(), 1u);
+  // With only locked-elsewhere tasks left, they still run (no starvation).
+  std::vector<DispatchTaskView> only_locked{view(0, Locality::kAny, 0.0, 9, 1)};
+  EXPECT_EQ(algorithm2_select(only_locked, 2, 1e12).value(), 0u);
+}
+
+TEST(Algorithm2, LockDisabledByPolicy) {
+  std::vector<DispatchTaskView> tasks{
+      view(0, Locality::kProcessLocal),
+      view(1, Locality::kAny, 0.0, 7, 1),
+  };
+  DispatcherPolicy policy;
+  policy.opt_executor_lock = false;
+  EXPECT_EQ(algorithm2_select(tasks, 7, 1e12, policy).value(), 0u);
+}
+
+TEST(Algorithm2, GuardDisabledByPolicy) {
+  std::vector<DispatchTaskView> tasks{view(0, Locality::kAny, 100.0 * kGiB)};
+  DispatcherPolicy policy;
+  policy.memory_guard = false;
+  EXPECT_TRUE(algorithm2_select(tasks, 0, 1.0, policy).has_value());
+}
+
+TEST(RoundRobin, CyclesAllKinds) {
+  ResourceRoundRobin rr;
+  std::set<ResourceKind> seen;
+  for (int i = 0; i < kNumResourceKinds; ++i) seen.insert(rr.next());
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumResourceKinds));
+  EXPECT_EQ(rr.next(), ResourceKind::kCpu);  // wrapped around
+}
+
+}  // namespace
+}  // namespace rupam

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "app/simulation.hpp"
+#include "metrics/event_trace.hpp"
+#include "workloads/presets.hpp"
+
+namespace rupam {
+namespace {
+
+TraceEvent event(SimTime t, TraceEventType type, TaskId task = 1) {
+  TraceEvent e;
+  e.time = t;
+  e.type = type;
+  e.task = task;
+  e.stage = 0;
+  e.node = 2;
+  e.detail = "d";
+  return e;
+}
+
+TEST(EventTrace, RecordsAndCounts) {
+  EventTrace trace;
+  EXPECT_TRUE(trace.empty());
+  trace.record(event(0.0, TraceEventType::kTaskLaunched));
+  trace.record(event(1.0, TraceEventType::kTaskLaunched));
+  trace.record(event(2.0, TraceEventType::kTaskFinished));
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.count(TraceEventType::kTaskLaunched), 2u);
+  EXPECT_EQ(trace.count(TraceEventType::kTaskFinished), 1u);
+  EXPECT_EQ(trace.count(TraceEventType::kExecutorLost), 0u);
+}
+
+TEST(EventTrace, RejectsTimeTravel) {
+  EventTrace trace;
+  trace.record(event(5.0, TraceEventType::kTaskLaunched));
+  EXPECT_THROW(trace.record(event(4.0, TraceEventType::kTaskFinished)),
+               std::invalid_argument);
+}
+
+TEST(EventTrace, ClearResets) {
+  EventTrace trace;
+  trace.record(event(0.0, TraceEventType::kTaskLaunched));
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.count(TraceEventType::kTaskLaunched), 0u);
+  trace.record(event(0.0, TraceEventType::kTaskLaunched));  // reusable
+}
+
+TEST(EventTrace, CsvHasHeaderAndRows) {
+  EventTrace trace;
+  trace.record(event(1.5, TraceEventType::kTaskFailed));
+  std::ostringstream oss;
+  trace.write_csv(oss);
+  std::string out = oss.str();
+  EXPECT_NE(out.find("time,type,stage,task"), std::string::npos);
+  EXPECT_NE(out.find("task_failed"), std::string::npos);
+  EXPECT_NE(out.find("1.500000"), std::string::npos);
+}
+
+TEST(EventTrace, ChromeTracingEscapesJson) {
+  EventTrace trace;
+  TraceEvent e = event(1.0, TraceEventType::kTaskFinished);
+  e.detail = "say \"hi\"\\";
+  e.duration = 0.5;
+  trace.record(e);
+  std::ostringstream oss;
+  trace.write_chrome_tracing(oss);
+  std::string out = oss.str();
+  EXPECT_NE(out.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(EventTrace, EndToEndCoversLifecycle) {
+  SimulationConfig cfg;
+  cfg.scheduler = SchedulerKind::kRupam;
+  cfg.enable_trace = true;
+  Simulation sim(cfg);
+  Application app = build_workload(workload_preset("PR"), sim.cluster().node_ids(), 1, 1,
+                                   hdfs_placement_weights(sim.cluster()));
+  sim.run(app);
+  const EventTrace* trace = sim.trace();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_GT(trace->count(TraceEventType::kStageSubmitted), 0u);
+  EXPECT_GE(trace->count(TraceEventType::kTaskLaunched), app.total_tasks());
+  EXPECT_EQ(trace->count(TraceEventType::kTaskFinished), app.total_tasks());
+  // Events are time-ordered by construction.
+  for (std::size_t i = 1; i < trace->events().size(); ++i) {
+    ASSERT_GE(trace->events()[i].time, trace->events()[i - 1].time);
+  }
+}
+
+TEST(EventTrace, DisabledByDefault) {
+  SimulationConfig cfg;
+  Simulation sim(cfg);
+  EXPECT_EQ(sim.trace(), nullptr);
+}
+
+}  // namespace
+}  // namespace rupam

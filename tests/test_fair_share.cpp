@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "cluster/fair_share_resource.hpp"
+
+namespace rupam {
+namespace {
+
+TEST(FairShare, SingleClaimServiceTime) {
+  Simulator sim;
+  FairShareResource disk(sim, "disk", 100.0, 100.0);
+  SimTime done = -1.0;
+  disk.start(500.0, 1.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 5.0);
+}
+
+TEST(FairShare, TwoEqualClaimsShare) {
+  Simulator sim;
+  FairShareResource disk(sim, "disk", 100.0, 100.0);
+  SimTime d1 = -1.0, d2 = -1.0;
+  disk.start(500.0, 1.0, [&] { d1 = sim.now(); });
+  disk.start(500.0, 1.0, [&] { d2 = sim.now(); });
+  sim.run();
+  // Each gets 50 units/s -> both finish at 10s.
+  EXPECT_DOUBLE_EQ(d1, 10.0);
+  EXPECT_DOUBLE_EQ(d2, 10.0);
+}
+
+TEST(FairShare, PerClaimCapLimitsSingleClaim) {
+  Simulator sim;
+  // 8-core CPU: one claim draws at most 1 core.
+  FairShareResource cpu(sim, "cpu", 8.0, 1.0);
+  SimTime done = -1.0;
+  cpu.start(4.0, 1.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 4.0);
+}
+
+TEST(FairShare, NoContentionBelowCoreCount) {
+  Simulator sim;
+  FairShareResource cpu(sim, "cpu", 8.0, 1.0);
+  std::vector<SimTime> done(8, -1.0);
+  for (int i = 0; i < 8; ++i) {
+    cpu.start(4.0, 1.0, [&done, i, &sim] { done[static_cast<std::size_t>(i)] = sim.now(); });
+  }
+  sim.run();
+  for (SimTime d : done) EXPECT_DOUBLE_EQ(d, 4.0);
+}
+
+TEST(FairShare, ContentionBeyondCoreCount) {
+  Simulator sim;
+  FairShareResource cpu(sim, "cpu", 2.0, 1.0);
+  int finished = 0;
+  SimTime last = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    cpu.start(2.0, 1.0, [&] {
+      ++finished;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  // 4 claims x 2 units over a 2-unit/s resource = 4 seconds total.
+  EXPECT_EQ(finished, 4);
+  EXPECT_DOUBLE_EQ(last, 4.0);
+}
+
+TEST(FairShare, SpeedFactorScalesRate) {
+  Simulator sim;
+  FairShareResource cpu(sim, "cpu", 8.0, 1.0);
+  SimTime fast = -1.0, slow = -1.0;
+  cpu.start(10.0, 2.0, [&] { fast = sim.now(); });
+  cpu.start(10.0, 0.5, [&] { slow = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fast, 5.0);
+  EXPECT_DOUBLE_EQ(slow, 20.0);
+}
+
+TEST(FairShare, LateArrivalSlowsEarlier) {
+  Simulator sim;
+  FairShareResource net(sim, "net", 100.0, 100.0);
+  SimTime d1 = -1.0;
+  net.start(1000.0, 1.0, [&] { d1 = sim.now(); });  // alone: 10s
+  sim.schedule_at(5.0, [&] { net.start(1000.0, 1.0, nullptr); });
+  sim.run();
+  // First 5s at 100/s -> 500 left; then shared 50/s -> 10 more seconds.
+  EXPECT_DOUBLE_EQ(d1, 15.0);
+}
+
+TEST(FairShare, CancelFreesBandwidth) {
+  Simulator sim;
+  FairShareResource net(sim, "net", 100.0, 100.0);
+  SimTime d1 = -1.0;
+  net.start(1000.0, 1.0, [&] { d1 = sim.now(); });
+  auto victim = net.start(1000.0, 1.0, [&] { FAIL() << "cancelled claim completed"; });
+  sim.schedule_at(5.0, [&] { net.cancel(victim); });
+  sim.run();
+  // 5s shared (250 done) + 750 at full rate = 12.5s.
+  EXPECT_DOUBLE_EQ(d1, 12.5);
+}
+
+TEST(FairShare, CancelUnknownIdIsNoop) {
+  Simulator sim;
+  FairShareResource net(sim, "net", 100.0, 100.0);
+  net.cancel(12345);
+  EXPECT_EQ(net.active(), 0u);
+}
+
+TEST(FairShare, ZeroWorkCompletesImmediately) {
+  Simulator sim;
+  FairShareResource net(sim, "net", 100.0, 100.0);
+  SimTime done = -1.0;
+  net.start(0.0, 1.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+}
+
+TEST(FairShare, TinyResidualWorkTerminates) {
+  // Regression: residual work below the float resolution of `now` must
+  // complete rather than freeze simulated time (see kTimeEpsilon).
+  Simulator sim;
+  FairShareResource net(sim, "net", 5e8, 5e8);
+  int finished = 0;
+  for (int i = 0; i < 7; ++i) {
+    net.start(12.0 * 1024 * 1024 * (1.0 + 1e-13 * i), 1.0, [&] { ++finished; });
+  }
+  std::size_t events = sim.run(1000.0);
+  EXPECT_EQ(finished, 7);
+  EXPECT_LT(events, 1000u);
+}
+
+TEST(FairShare, UtilizationTracksLoad) {
+  Simulator sim;
+  FairShareResource cpu(sim, "cpu", 8.0, 1.0);
+  EXPECT_DOUBLE_EQ(cpu.utilization(), 0.0);
+  cpu.start(100.0, 1.0, nullptr);
+  EXPECT_DOUBLE_EQ(cpu.utilization(), 1.0 / 8.0);
+  for (int i = 0; i < 9; ++i) cpu.start(100.0, 1.0, nullptr);
+  EXPECT_DOUBLE_EQ(cpu.utilization(), 1.0);  // saturated past 8 claims
+}
+
+TEST(FairShare, SaturatingResourceUsesDepthProxy) {
+  Simulator sim;
+  FairShareResource disk(sim, "disk", 100.0, 100.0);
+  disk.start(1e9, 1.0, nullptr);
+  double u1 = disk.utilization();
+  disk.start(1e9, 1.0, nullptr);
+  double u2 = disk.utilization();
+  EXPECT_GT(u1, 0.0);
+  EXPECT_LT(u1, 1.0);
+  EXPECT_GT(u2, u1);  // deeper queue reports higher utilization
+}
+
+TEST(FairShare, ConcurrencyPenaltyDegradesThroughput) {
+  Simulator sim;
+  FairShareResource hdd(sim, "hdd", 100.0, 100.0, 0.1);
+  SimTime done = 0.0;
+  int finished = 0;
+  for (int i = 0; i < 4; ++i) {
+    hdd.start(100.0, 1.0, [&] {
+      ++finished;
+      done = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(finished, 4);
+  // Effective capacity 100/(1+0.1*3) = 76.9/s for 400 units -> 5.2s.
+  EXPECT_NEAR(done, 400.0 / (100.0 / 1.3), 1e-9);
+}
+
+TEST(FairShare, NoPenaltyForSingleStream) {
+  Simulator sim;
+  FairShareResource hdd(sim, "hdd", 100.0, 100.0, 0.1);
+  SimTime done = -1.0;
+  hdd.start(200.0, 1.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 2.0);
+}
+
+TEST(FairShare, TotalDrainedConserved) {
+  Simulator sim;
+  FairShareResource net(sim, "net", 100.0, 100.0);
+  for (int i = 0; i < 5; ++i) net.start(100.0, 1.0, nullptr);
+  sim.run();
+  EXPECT_NEAR(net.total_drained(), 500.0, 1e-6);
+}
+
+TEST(FairShare, RejectsBadArguments) {
+  Simulator sim;
+  EXPECT_THROW(FairShareResource(sim, "x", 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(FairShareResource(sim, "x", 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(FairShareResource(sim, "x", 1.0, 1.0, -0.5), std::invalid_argument);
+  FairShareResource ok(sim, "ok", 1.0, 1.0);
+  EXPECT_THROW(ok.start(1.0, 0.0, nullptr), std::invalid_argument);
+}
+
+// Property: with N equal claims, completion time is N * work / capacity
+// regardless of N (work conservation).
+class WorkConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkConservationTest, MakespanMatchesTotalWork) {
+  int n = GetParam();
+  Simulator sim;
+  FairShareResource r(sim, "r", 50.0, 50.0);
+  SimTime last = 0.0;
+  for (int i = 0; i < n; ++i) {
+    r.start(100.0, 1.0, [&] { last = sim.now(); });
+  }
+  sim.run();
+  EXPECT_NEAR(last, n * 100.0 / 50.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClaimCounts, WorkConservationTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace rupam

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "exec/gc_model.hpp"
+
+namespace rupam {
+namespace {
+
+TEST(GcModel, ZeroAllocationZeroCost) {
+  GcModel gc;
+  EXPECT_DOUBLE_EQ(gc.gc_time(0.0, 16.0 * kGiB, 0.5), 0.0);
+}
+
+TEST(GcModel, CostGrowsWithAllocation) {
+  GcModel gc;
+  double a = gc.gc_time(1.0 * kGiB, 16.0 * kGiB, 0.5);
+  double b = gc.gc_time(2.0 * kGiB, 16.0 * kGiB, 0.5);
+  EXPECT_NEAR(b, 2.0 * a, 1e-9);
+}
+
+TEST(GcModel, CostGrowsWithOccupancy) {
+  GcModel gc;
+  double low = gc.gc_time(1.0 * kGiB, 16.0 * kGiB, 0.1);
+  double high = gc.gc_time(1.0 * kGiB, 16.0 * kGiB, 0.9);
+  EXPECT_GT(high, low);
+}
+
+TEST(GcModel, FullScanTermGrowsWithHeapSize) {
+  // The paper's SQL observation: bigger executors pay more per collection
+  // at equal occupancy ("searching the whole JVM memory space").
+  GcModel gc;
+  double small = gc.gc_time(1.0 * kGiB, 14.0 * kGiB, 0.8);
+  double large = gc.gc_time(1.0 * kGiB, 62.0 * kGiB, 0.8);
+  EXPECT_GT(large, small);
+}
+
+TEST(GcModel, OccupancyClamped) {
+  GcModel gc;
+  EXPECT_DOUBLE_EQ(gc.gc_time(1.0 * kGiB, 16.0 * kGiB, -0.5),
+                   gc.gc_time(1.0 * kGiB, 16.0 * kGiB, 0.0));
+  EXPECT_DOUBLE_EQ(gc.gc_time(1.0 * kGiB, 16.0 * kGiB, 2.0),
+                   gc.gc_time(1.0 * kGiB, 16.0 * kGiB, 1.0));
+}
+
+TEST(GcModel, BaseThroughputOnly) {
+  GcModelParams p;
+  p.scan_factor = 0.0;
+  GcModel gc(p);
+  EXPECT_NEAR(gc.gc_time(p.throughput, 16.0 * kGiB, 1.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rupam

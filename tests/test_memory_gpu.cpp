@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "cluster/gpu_pool.hpp"
+#include "cluster/memory_pool.hpp"
+#include "common/units.hpp"
+
+namespace rupam {
+namespace {
+
+TEST(MemoryPool, ReserveAndRelease) {
+  MemoryPool pool(100.0);
+  EXPECT_TRUE(pool.try_reserve(60.0));
+  EXPECT_DOUBLE_EQ(pool.used(), 60.0);
+  EXPECT_DOUBLE_EQ(pool.free(), 40.0);
+  EXPECT_FALSE(pool.try_reserve(50.0));
+  EXPECT_DOUBLE_EQ(pool.used(), 60.0);  // failed reserve takes nothing
+  pool.release(60.0);
+  EXPECT_DOUBLE_EQ(pool.used(), 0.0);
+}
+
+TEST(MemoryPool, ForceReserveCanOvercommit) {
+  MemoryPool pool(100.0);
+  pool.force_reserve(150.0);
+  EXPECT_TRUE(pool.overcommitted());
+  EXPECT_DOUBLE_EQ(pool.occupancy(), 1.5);
+}
+
+TEST(MemoryPool, ReleaseClampsAtZero) {
+  MemoryPool pool(100.0);
+  pool.force_reserve(10.0);
+  pool.release(50.0);
+  EXPECT_DOUBLE_EQ(pool.used(), 0.0);
+}
+
+TEST(MemoryPool, RejectsNegative) {
+  EXPECT_THROW(MemoryPool(-1.0), std::invalid_argument);
+  MemoryPool pool(10.0);
+  EXPECT_THROW(pool.try_reserve(-1.0), std::invalid_argument);
+  EXPECT_THROW(pool.force_reserve(-1.0), std::invalid_argument);
+  EXPECT_THROW(pool.release(-1.0), std::invalid_argument);
+}
+
+TEST(GpuPool, AcquireRelease) {
+  GpuPool gpus(2);
+  EXPECT_EQ(gpus.idle(), 2);
+  EXPECT_TRUE(gpus.try_acquire());
+  EXPECT_TRUE(gpus.try_acquire());
+  EXPECT_FALSE(gpus.try_acquire());
+  EXPECT_EQ(gpus.busy(), 2);
+  gpus.release();
+  EXPECT_EQ(gpus.idle(), 1);
+  EXPECT_TRUE(gpus.try_acquire());
+}
+
+TEST(GpuPool, ZeroDevices) {
+  GpuPool gpus(0);
+  EXPECT_FALSE(gpus.try_acquire());
+}
+
+TEST(GpuPool, ReleaseWithoutAcquireThrows) {
+  GpuPool gpus(1);
+  EXPECT_THROW(gpus.release(), std::logic_error);
+}
+
+TEST(GpuPool, RejectsNegativeCount) { EXPECT_THROW(GpuPool(-1), std::invalid_argument); }
+
+}  // namespace
+}  // namespace rupam

@@ -1,0 +1,179 @@
+// Cross-cutting property tests: conservation laws and invariants that
+// must hold for any seed / configuration.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "app/simulation.hpp"
+#include "cluster/presets.hpp"
+#include "workloads/presets.hpp"
+
+namespace rupam {
+namespace {
+
+// Work conservation in the fair-share model with random arrivals,
+// cancels, and heterogeneous speed factors: total drained equals the sum
+// of completed work plus partial progress of cancelled claims, and never
+// exceeds capacity * elapsed time.
+class FairShareConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareConservationTest, DrainedBoundedByCapacityTime) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Simulator sim;
+  FairShareResource r(sim, "r", 100.0, 25.0);
+  double submitted = 0.0;
+  double completed_work = 0.0;
+  std::vector<FairShareResource::ClaimId> live;
+  for (int i = 0; i < 40; ++i) {
+    double work = rng.uniform(10.0, 200.0);
+    submitted += work;
+    sim.schedule_at(rng.uniform(0.0, 20.0), [&, work] {
+      live.push_back(r.start(work, rng.uniform(0.5, 2.0),
+                             [&completed_work, work] { completed_work += work; }));
+    });
+  }
+  // Random cancels sprinkled in.
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(rng.uniform(5.0, 25.0), [&] {
+      if (!live.empty()) {
+        r.cancel(live[rng.uniform_index(live.size())]);
+      }
+    });
+  }
+  sim.run();
+  double drained = r.total_drained();
+  EXPECT_LE(drained, submitted + 1e-6);
+  EXPECT_GE(drained, completed_work - 1e-6);
+  // Work is measured in reference units: a claim with speed_factor s
+  // drains s reference units per capacity-second, so the hard ceiling is
+  // capacity * max_speed * elapsed.
+  EXPECT_LE(drained, 100.0 * 2.0 * sim.now() + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairShareConservationTest, ::testing::Range(1, 13));
+
+// Every scheduler, any seed: each partition completes exactly once, no
+// task is double-counted, and failed attempts never appear as winners.
+class SchedulerInvariantTest
+    : public ::testing::TestWithParam<std::tuple<SchedulerKind, int>> {};
+
+TEST_P(SchedulerInvariantTest, ExactlyOneWinnerPerPartition) {
+  auto [kind, seed] = GetParam();
+  SimulationConfig cfg;
+  cfg.scheduler = kind;
+  Simulation sim(cfg);
+  Application app =
+      build_workload(workload_preset("PR"), sim.cluster().node_ids(),
+                     static_cast<std::uint64_t>(seed), 2, hdfs_placement_weights(sim.cluster()));
+  sim.run(app);
+  std::set<std::pair<StageId, int>> winners;
+  for (const auto& m : sim.scheduler().completed()) {
+    EXPECT_FALSE(m.failed);
+    EXPECT_GE(m.finish_time, m.launch_time);
+    EXPECT_GE(m.launch_time, m.submit_time);
+    EXPECT_TRUE(winners.emplace(m.stage, m.partition).second);
+  }
+  EXPECT_EQ(winners.size(), app.total_tasks());
+  for (const auto& m : sim.scheduler().failures()) EXPECT_TRUE(m.failed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, SchedulerInvariantTest,
+    ::testing::Combine(::testing::Values(SchedulerKind::kSpark, SchedulerKind::kRupam,
+                                         SchedulerKind::kStageAware, SchedulerKind::kFifo),
+                       ::testing::Values(1, 2, 3)));
+
+// Breakdown components of every completed task sum to at most the task's
+// wall time (phases are sequential), and locality labels are consistent
+// with the task's preferences.
+TEST(Properties, BreakdownComponentsBoundedByWallTime) {
+  SimulationConfig cfg;
+  cfg.scheduler = SchedulerKind::kRupam;
+  Simulation sim(cfg);
+  Application app = build_workload(workload_preset("TC"), sim.cluster().node_ids(), 5, 1,
+                                   hdfs_placement_weights(sim.cluster()));
+  sim.run(app);
+  for (const auto& m : sim.scheduler().completed()) {
+    double phases = m.input_read_time + m.shuffle_read_time +
+                    (m.compute_time - m.input_read_time) + m.gc_time + m.shuffle_write_time +
+                    m.output_time;
+    EXPECT_LE(phases, m.run_time() * 1.0001 + 1e-6);
+    EXPECT_GE(m.serialization_time, 0.0);
+    EXPECT_LE(m.serialization_time, m.compute_time + 1e-9);
+  }
+}
+
+// The executor never reports negative free slots or memory, under any
+// scheduler, even through OOM storms and restarts.
+TEST(Properties, ExecutorAccountingStaysSane) {
+  SimulationConfig cfg;
+  cfg.scheduler = SchedulerKind::kSpark;
+  Simulation sim(cfg);
+  Application app = build_workload(workload_preset("PR"), sim.cluster().node_ids(), 2, 2,
+                                   hdfs_placement_weights(sim.cluster()));
+  // Probe invariants every simulated second during the run.
+  std::function<void()> probe = [&] {
+    for (NodeId id : sim.cluster().node_ids()) {
+      Executor& e = sim.executor(id);
+      ASSERT_GE(e.free_slots(), 0);
+      ASSERT_GE(e.heap_used(), 0.0);
+      ASSERT_GE(sim.cluster().node(id).free_memory(), 0.0);
+    }
+    sim.sim().schedule_after(1.0, probe);
+  };
+  sim.sim().schedule_after(1.0, probe);
+  sim.run(app);
+}
+
+// Determinism across the entire stack including traces.
+TEST(Properties, TraceDeterminism) {
+  auto run = [] {
+    SimulationConfig cfg;
+    cfg.scheduler = SchedulerKind::kRupam;
+    cfg.enable_trace = true;
+    Simulation sim(cfg);
+    Application app = build_workload(workload_preset("GM"), sim.cluster().node_ids(), 9, 1,
+                                     hdfs_placement_weights(sim.cluster()));
+    sim.run(app);
+    std::ostringstream oss;
+    sim.trace()->write_csv(oss);
+    return oss.str();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// A cluster of one node still works for every scheduler (degenerate
+// topology: no remote shuffle, no placement choice).
+TEST(Properties, SingleNodeClusterDegenerateCase) {
+  for (auto kind : {SchedulerKind::kSpark, SchedulerKind::kRupam, SchedulerKind::kFifo}) {
+    SimulationConfig cfg;
+    cfg.scheduler = kind;
+    NodeSpec solo = hulk_spec();
+    solo.name = "solo";
+    cfg.nodes = {solo};
+    Simulation sim(cfg);
+    WorkloadParams params;
+    params.input_gb = 0.1;
+    params.iterations = 1;
+    params.seed = 1;
+    Application app = make_terasort(sim.cluster().node_ids(), params);
+    EXPECT_GT(sim.run(app), 0.0);
+    EXPECT_EQ(sim.scheduler().completed().size(), app.total_tasks());
+  }
+}
+
+// max_sim_time is a hard safety valve.
+TEST(Properties, MaxSimTimeThrows) {
+  SimulationConfig cfg;
+  cfg.scheduler = SchedulerKind::kSpark;
+  cfg.max_sim_time = 0.5;  // far too small for any workload
+  Simulation sim(cfg);
+  Application app = build_workload(workload_preset("GM"), sim.cluster().node_ids(), 1, 1,
+                                   hdfs_placement_weights(sim.cluster()));
+  EXPECT_THROW(sim.run(app), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rupam

@@ -1,0 +1,32 @@
+// End-to-end smoke: both schedulers run a small workload to completion on
+// the Hydra cluster and every partition completes exactly once.
+#include <gtest/gtest.h>
+
+#include "app/simulation.hpp"
+#include "workloads/presets.hpp"
+
+namespace rupam {
+namespace {
+
+TEST(Smoke, SparkRunsPageRank) {
+  SimulationConfig cfg;
+  cfg.scheduler = SchedulerKind::kSpark;
+  Simulation sim(cfg);
+  Application app = build_workload(workload_preset("PR"), sim.cluster().node_ids(), 7, 2);
+  SimTime makespan = sim.run(app);
+  EXPECT_GT(makespan, 0.0);
+  EXPECT_GE(sim.scheduler().completed().size(), app.total_tasks());
+}
+
+TEST(Smoke, RupamRunsPageRank) {
+  SimulationConfig cfg;
+  cfg.scheduler = SchedulerKind::kRupam;
+  Simulation sim(cfg);
+  Application app = build_workload(workload_preset("PR"), sim.cluster().node_ids(), 7, 2);
+  SimTime makespan = sim.run(app);
+  EXPECT_GT(makespan, 0.0);
+  EXPECT_GE(sim.scheduler().completed().size(), app.total_tasks());
+}
+
+}  // namespace
+}  // namespace rupam

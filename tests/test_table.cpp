@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace rupam {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Name", "Value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::string out = t.to_string();
+  EXPECT_NE(out.find("| Name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream oss;
+  CsvWriter csv(oss);
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(oss.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream oss;
+  CsvWriter csv(oss);
+  csv.write_row({"has,comma", "has\"quote", "plain"});
+  EXPECT_EQ(oss.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(Format, NumberTrimsZeros) {
+  EXPECT_EQ(format_number(2.50), "2.5");
+  EXPECT_EQ(format_number(37.70), "37.7");
+  EXPECT_EQ(format_number(1200.0), "1200");
+  EXPECT_EQ(format_number(0.0), "0");
+}
+
+}  // namespace
+}  // namespace rupam

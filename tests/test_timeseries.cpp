@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simcore/timeseries.hpp"
+
+namespace rupam {
+namespace {
+
+TEST(TimeSeries, AddAndQuery) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  ts.add(0.0, 1.0);
+  ts.add(1.0, 3.0);
+  ts.add(2.0, 5.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 5.0);
+}
+
+TEST(TimeSeries, RejectsNonMonotonic) {
+  TimeSeries ts;
+  ts.add(5.0, 1.0);
+  EXPECT_THROW(ts.add(4.0, 1.0), std::invalid_argument);
+  ts.add(5.0, 2.0);  // equal timestamps are allowed
+}
+
+TEST(TimeSeries, ResampleAveragesBuckets) {
+  TimeSeries ts;
+  ts.add(0.1, 2.0);
+  ts.add(0.9, 4.0);   // bucket 0: mean 3
+  ts.add(1.5, 10.0);  // bucket 1: 10
+  auto r = ts.resample(1.0, 2.0);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 10.0);
+  EXPECT_DOUBLE_EQ(r[2], 10.0);  // empty bucket carries the previous value
+}
+
+TEST(TimeSeries, ResampleRejectsBadDt) {
+  TimeSeries ts;
+  EXPECT_THROW(ts.resample(0.0, 10.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, ResampleEmptySeriesIsZeros) {
+  TimeSeries ts;
+  auto r = ts.resample(1.0, 3.0);
+  for (double v : r) EXPECT_EQ(v, 0.0);
+}
+
+TEST(CrossSeriesStddev, IdenticalSeriesGiveZero) {
+  std::vector<std::vector<double>> series{{1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}};
+  auto sd = cross_series_stddev(series);
+  for (double v : sd) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CrossSeriesStddev, KnownSpread) {
+  std::vector<std::vector<double>> series{{0.0, 10.0}, {2.0, 10.0}};
+  auto sd = cross_series_stddev(series);
+  ASSERT_EQ(sd.size(), 2u);
+  EXPECT_NEAR(sd[0], std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(sd[1], 0.0);
+}
+
+TEST(CrossSeriesStddev, RejectsUnaligned) {
+  std::vector<std::vector<double>> series{{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(cross_series_stddev(series), std::invalid_argument);
+}
+
+TEST(CrossSeriesStddev, EmptyInput) { EXPECT_TRUE(cross_series_stddev({}).empty()); }
+
+}  // namespace
+}  // namespace rupam
