@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rupam.dir/ablation_rupam.cpp.o"
+  "CMakeFiles/ablation_rupam.dir/ablation_rupam.cpp.o.d"
+  "ablation_rupam"
+  "ablation_rupam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rupam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

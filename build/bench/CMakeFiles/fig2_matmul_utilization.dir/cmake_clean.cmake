@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_matmul_utilization.dir/fig2_matmul_utilization.cpp.o"
+  "CMakeFiles/fig2_matmul_utilization.dir/fig2_matmul_utilization.cpp.o.d"
+  "fig2_matmul_utilization"
+  "fig2_matmul_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_matmul_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_iterations.dir/fig6_iterations.cpp.o"
+  "CMakeFiles/fig6_iterations.dir/fig6_iterations.cpp.o.d"
+  "fig6_iterations"
+  "fig6_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

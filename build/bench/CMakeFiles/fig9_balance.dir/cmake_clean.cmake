@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_balance.dir/fig9_balance.cpp.o"
+  "CMakeFiles/fig9_balance.dir/fig9_balance.cpp.o.d"
+  "fig9_balance"
+  "fig9_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

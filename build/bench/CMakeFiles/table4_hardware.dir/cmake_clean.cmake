@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hardware.dir/table4_hardware.cpp.o"
+  "CMakeFiles/table4_hardware.dir/table4_hardware.cpp.o.d"
+  "table4_hardware"
+  "table4_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_cluster_tour.dir/heterogeneous_cluster_tour.cpp.o"
+  "CMakeFiles/heterogeneous_cluster_tour.dir/heterogeneous_cluster_tour.cpp.o.d"
+  "heterogeneous_cluster_tour"
+  "heterogeneous_cluster_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_cluster_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rupam_sim.dir/rupam_sim.cpp.o"
+  "CMakeFiles/rupam_sim.dir/rupam_sim.cpp.o.d"
+  "rupam_sim"
+  "rupam_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rupam_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/cli.cpp" "src/CMakeFiles/rupam.dir/app/cli.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/app/cli.cpp.o.d"
+  "/root/repo/src/app/simulation.cpp" "src/CMakeFiles/rupam.dir/app/simulation.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/app/simulation.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/rupam.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/fair_share_resource.cpp" "src/CMakeFiles/rupam.dir/cluster/fair_share_resource.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/cluster/fair_share_resource.cpp.o.d"
+  "/root/repo/src/cluster/gpu_pool.cpp" "src/CMakeFiles/rupam.dir/cluster/gpu_pool.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/cluster/gpu_pool.cpp.o.d"
+  "/root/repo/src/cluster/heartbeat.cpp" "src/CMakeFiles/rupam.dir/cluster/heartbeat.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/cluster/heartbeat.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/rupam.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/cluster/node.cpp.o.d"
+  "/root/repo/src/cluster/node_spec.cpp" "src/CMakeFiles/rupam.dir/cluster/node_spec.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/cluster/node_spec.cpp.o.d"
+  "/root/repo/src/cluster/presets.cpp" "src/CMakeFiles/rupam.dir/cluster/presets.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/cluster/presets.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/rupam.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/rupam.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/rupam.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/rupam.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/common/table.cpp.o.d"
+  "/root/repo/src/dag/dag_scheduler.cpp" "src/CMakeFiles/rupam.dir/dag/dag_scheduler.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/dag/dag_scheduler.cpp.o.d"
+  "/root/repo/src/dag/job.cpp" "src/CMakeFiles/rupam.dir/dag/job.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/dag/job.cpp.o.d"
+  "/root/repo/src/dag/rdd.cpp" "src/CMakeFiles/rupam.dir/dag/rdd.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/dag/rdd.cpp.o.d"
+  "/root/repo/src/dag/stage.cpp" "src/CMakeFiles/rupam.dir/dag/stage.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/dag/stage.cpp.o.d"
+  "/root/repo/src/exec/block_cache.cpp" "src/CMakeFiles/rupam.dir/exec/block_cache.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/exec/block_cache.cpp.o.d"
+  "/root/repo/src/exec/executor.cpp" "src/CMakeFiles/rupam.dir/exec/executor.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/exec/executor.cpp.o.d"
+  "/root/repo/src/exec/gc_model.cpp" "src/CMakeFiles/rupam.dir/exec/gc_model.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/exec/gc_model.cpp.o.d"
+  "/root/repo/src/metrics/breakdown.cpp" "src/CMakeFiles/rupam.dir/metrics/breakdown.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/metrics/breakdown.cpp.o.d"
+  "/root/repo/src/metrics/event_trace.cpp" "src/CMakeFiles/rupam.dir/metrics/event_trace.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/metrics/event_trace.cpp.o.d"
+  "/root/repo/src/metrics/experiment.cpp" "src/CMakeFiles/rupam.dir/metrics/experiment.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/metrics/experiment.cpp.o.d"
+  "/root/repo/src/metrics/locality_counter.cpp" "src/CMakeFiles/rupam.dir/metrics/locality_counter.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/metrics/locality_counter.cpp.o.d"
+  "/root/repo/src/metrics/utilization_sampler.cpp" "src/CMakeFiles/rupam.dir/metrics/utilization_sampler.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/metrics/utilization_sampler.cpp.o.d"
+  "/root/repo/src/sched/baselines/capability_scheduler.cpp" "src/CMakeFiles/rupam.dir/sched/baselines/capability_scheduler.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/sched/baselines/capability_scheduler.cpp.o.d"
+  "/root/repo/src/sched/baselines/fifo_scheduler.cpp" "src/CMakeFiles/rupam.dir/sched/baselines/fifo_scheduler.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/sched/baselines/fifo_scheduler.cpp.o.d"
+  "/root/repo/src/sched/offers.cpp" "src/CMakeFiles/rupam.dir/sched/offers.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/sched/offers.cpp.o.d"
+  "/root/repo/src/sched/rupam/dispatcher.cpp" "src/CMakeFiles/rupam.dir/sched/rupam/dispatcher.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/sched/rupam/dispatcher.cpp.o.d"
+  "/root/repo/src/sched/rupam/resource_monitor.cpp" "src/CMakeFiles/rupam.dir/sched/rupam/resource_monitor.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/sched/rupam/resource_monitor.cpp.o.d"
+  "/root/repo/src/sched/rupam/rupam_scheduler.cpp" "src/CMakeFiles/rupam.dir/sched/rupam/rupam_scheduler.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/sched/rupam/rupam_scheduler.cpp.o.d"
+  "/root/repo/src/sched/rupam/task_char_db.cpp" "src/CMakeFiles/rupam.dir/sched/rupam/task_char_db.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/sched/rupam/task_char_db.cpp.o.d"
+  "/root/repo/src/sched/rupam/task_manager.cpp" "src/CMakeFiles/rupam.dir/sched/rupam/task_manager.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/sched/rupam/task_manager.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/rupam.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/sched/spark/spark_scheduler.cpp" "src/CMakeFiles/rupam.dir/sched/spark/spark_scheduler.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/sched/spark/spark_scheduler.cpp.o.d"
+  "/root/repo/src/sched/speculation.cpp" "src/CMakeFiles/rupam.dir/sched/speculation.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/sched/speculation.cpp.o.d"
+  "/root/repo/src/simcore/simulator.cpp" "src/CMakeFiles/rupam.dir/simcore/simulator.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/simcore/simulator.cpp.o.d"
+  "/root/repo/src/simcore/timeseries.cpp" "src/CMakeFiles/rupam.dir/simcore/timeseries.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/simcore/timeseries.cpp.o.d"
+  "/root/repo/src/tasks/locality.cpp" "src/CMakeFiles/rupam.dir/tasks/locality.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/tasks/locality.cpp.o.d"
+  "/root/repo/src/tasks/task.cpp" "src/CMakeFiles/rupam.dir/tasks/task.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/tasks/task.cpp.o.d"
+  "/root/repo/src/tasks/task_metrics.cpp" "src/CMakeFiles/rupam.dir/tasks/task_metrics.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/tasks/task_metrics.cpp.o.d"
+  "/root/repo/src/tasks/task_set.cpp" "src/CMakeFiles/rupam.dir/tasks/task_set.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/tasks/task_set.cpp.o.d"
+  "/root/repo/src/workloads/gramian.cpp" "src/CMakeFiles/rupam.dir/workloads/gramian.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/workloads/gramian.cpp.o.d"
+  "/root/repo/src/workloads/kmeans.cpp" "src/CMakeFiles/rupam.dir/workloads/kmeans.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/workloads/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/logistic_regression.cpp" "src/CMakeFiles/rupam.dir/workloads/logistic_regression.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/workloads/logistic_regression.cpp.o.d"
+  "/root/repo/src/workloads/matmul.cpp" "src/CMakeFiles/rupam.dir/workloads/matmul.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/workloads/matmul.cpp.o.d"
+  "/root/repo/src/workloads/pagerank.cpp" "src/CMakeFiles/rupam.dir/workloads/pagerank.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/workloads/pagerank.cpp.o.d"
+  "/root/repo/src/workloads/presets.cpp" "src/CMakeFiles/rupam.dir/workloads/presets.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/workloads/presets.cpp.o.d"
+  "/root/repo/src/workloads/skew.cpp" "src/CMakeFiles/rupam.dir/workloads/skew.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/workloads/skew.cpp.o.d"
+  "/root/repo/src/workloads/sql.cpp" "src/CMakeFiles/rupam.dir/workloads/sql.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/workloads/sql.cpp.o.d"
+  "/root/repo/src/workloads/terasort.cpp" "src/CMakeFiles/rupam.dir/workloads/terasort.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/workloads/terasort.cpp.o.d"
+  "/root/repo/src/workloads/triangle_count.cpp" "src/CMakeFiles/rupam.dir/workloads/triangle_count.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/workloads/triangle_count.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/rupam.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/rupam.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/rupam_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_block_cache.cpp" "tests/CMakeFiles/rupam_tests.dir/test_block_cache.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_block_cache.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/rupam_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/rupam_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_dag.cpp" "tests/CMakeFiles/rupam_tests.dir/test_dag.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_dag.cpp.o.d"
+  "/root/repo/tests/test_dispatcher.cpp" "tests/CMakeFiles/rupam_tests.dir/test_dispatcher.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_dispatcher.cpp.o.d"
+  "/root/repo/tests/test_e2e.cpp" "tests/CMakeFiles/rupam_tests.dir/test_e2e.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_e2e.cpp.o.d"
+  "/root/repo/tests/test_event_trace.cpp" "tests/CMakeFiles/rupam_tests.dir/test_event_trace.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_event_trace.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/rupam_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_fair_share.cpp" "tests/CMakeFiles/rupam_tests.dir/test_fair_share.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_fair_share.cpp.o.d"
+  "/root/repo/tests/test_gc_model.cpp" "tests/CMakeFiles/rupam_tests.dir/test_gc_model.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_gc_model.cpp.o.d"
+  "/root/repo/tests/test_locality_speculation.cpp" "tests/CMakeFiles/rupam_tests.dir/test_locality_speculation.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_locality_speculation.cpp.o.d"
+  "/root/repo/tests/test_memory_gpu.cpp" "tests/CMakeFiles/rupam_tests.dir/test_memory_gpu.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_memory_gpu.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/rupam_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/rupam_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_resource_monitor.cpp" "tests/CMakeFiles/rupam_tests.dir/test_resource_monitor.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_resource_monitor.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/rupam_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rupam_scheduler.cpp" "tests/CMakeFiles/rupam_tests.dir/test_rupam_scheduler.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_rupam_scheduler.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/rupam_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/rupam_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_spark_scheduler.cpp" "tests/CMakeFiles/rupam_tests.dir/test_spark_scheduler.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_spark_scheduler.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/rupam_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/rupam_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_task_manager.cpp" "tests/CMakeFiles/rupam_tests.dir/test_task_manager.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_task_manager.cpp.o.d"
+  "/root/repo/tests/test_timeseries.cpp" "tests/CMakeFiles/rupam_tests.dir/test_timeseries.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_timeseries.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/rupam_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/rupam_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rupam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
