@@ -1,9 +1,11 @@
 #include "app/cli.hpp"
 
 #include <fstream>
+#include <optional>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "faults/fault_plan.hpp"
 #include "metrics/locality_counter.hpp"
 #include "workloads/presets.hpp"
 
@@ -19,6 +21,9 @@ std::string cli_usage() {
          "  --sample               sample per-node utilization\n"
          "  --trace-csv PATH       dump the scheduling event trace as CSV\n"
          "  --trace-chrome PATH    dump a chrome://tracing JSON timeline\n"
+         "  --faults SPEC          inject faults, e.g. 'crash@60:node=3:down=40;\n"
+         "                         slow@30:node=0:res=cpu:factor=0.3:for=60'\n"
+         "  --chaos SEED           inject a seeded random fault plan\n"
          "  --list                 list available workloads\n"
          "  --help                 this text\n";
 }
@@ -82,6 +87,22 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::o
     } else if (a == "--trace-chrome") {
       if (!need_value(i)) return std::nullopt;
       opts.trace_chrome = args[++i];
+    } else if (a == "--faults") {
+      if (!need_value(i)) return std::nullopt;
+      opts.faults = args[++i];
+      try {
+        parse_fault_spec(opts.faults);  // fail fast on malformed specs
+      } catch (const std::exception& e) {
+        err << e.what() << "\n";
+        return std::nullopt;
+      }
+    } else if (a == "--chaos") {
+      if (!need_value(i)) return std::nullopt;
+      opts.chaos_seed = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+      if (opts.chaos_seed == 0) {
+        err << "chaos seed must be non-zero\n";
+        return std::nullopt;
+      }
     } else {
       err << "unknown argument '" << a << "'\n";
       return std::nullopt;
@@ -114,6 +135,7 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
   RunningStats makespans;
   LocalityCounts locality{};
   std::size_t failures = 0, oom = 0, losses = 0, relocations = 0;
+  std::size_t faults_injected = 0, blacklists = 0, recomputed = 0;
   double cpu = 0.0, mem = 0.0;
 
   for (int rep = 0; rep < options.repetitions; ++rep) {
@@ -122,7 +144,25 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     cfg.seed = options.seed + static_cast<std::uint64_t>(rep);
     cfg.sample_utilization = options.sample_utilization;
     cfg.enable_trace = !options.trace_csv.empty() || !options.trace_chrome.empty();
-    Simulation sim(cfg);
+    if (!options.faults.empty()) {
+      try {
+        cfg.faults = parse_fault_spec(options.faults);
+      } catch (const std::exception& e) {
+        err << e.what() << "\n";
+        return 2;
+      }
+    }
+    cfg.chaos_seed = options.chaos_seed;
+    // The injector validates the plan against the cluster size (node ids,
+    // factors) — surface that as a CLI error, not an uncaught exception.
+    std::optional<Simulation> sim_storage;
+    try {
+      sim_storage.emplace(cfg);
+    } catch (const std::invalid_argument& e) {
+      err << e.what() << "\n";
+      return 2;
+    }
+    Simulation& sim = *sim_storage;
     Application app = build_workload(*preset, sim.cluster().node_ids(), cfg.seed,
                                      options.iterations, hdfs_placement_weights(sim.cluster()));
     makespans.add(sim.run(app));
@@ -132,6 +172,9 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     oom += sim.total_oom_kills();
     losses += sim.total_executor_losses();
     relocations += sim.scheduler().relocations();
+    if (sim.injector() != nullptr) faults_injected += sim.injector()->injected();
+    blacklists += sim.scheduler().blacklist_events();
+    recomputed += sim.recomputed_partitions();
     if (const UtilizationSampler* s = sim.sampler()) {
       cpu += s->avg_cpu_util();
       mem += s->avg_memory_used();
@@ -168,6 +211,10 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       << " RACK=" << locality[2] << " ANY=" << locality[3] << "\n"
       << "failures=" << failures << " oom_kills=" << oom << " executor_losses=" << losses
       << " relocations=" << relocations << "\n";
+  if (!options.faults.empty() || options.chaos_seed != 0) {
+    out << "faults_injected=" << faults_injected << " blacklists=" << blacklists
+        << " recomputed_partitions=" << recomputed << "\n";
+  }
   if (options.sample_utilization) {
     double n = static_cast<double>(options.repetitions);
     out << "avg cpu=" << format_fixed(cpu / n * 100.0, 1)

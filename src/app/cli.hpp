@@ -21,6 +21,8 @@ struct CliOptions {
   bool sample_utilization = false;
   std::string trace_csv;     // write the event trace here if non-empty
   std::string trace_chrome;  // chrome://tracing JSON path
+  std::string faults;        // fault spec (see faults/fault_plan.hpp)
+  std::uint64_t chaos_seed = 0;  // non-zero: add a seeded chaos plan
   bool list_workloads = false;
   bool help = false;
 };
@@ -29,7 +31,8 @@ struct CliOptions {
 /// invalid input. Recognized flags:
 ///   --workload NAME --scheduler spark|rupam|stageaware|fifo
 ///   --iterations N --repetitions N --seed N --sample
-///   --trace-csv PATH --trace-chrome PATH --list --help
+///   --trace-csv PATH --trace-chrome PATH --faults SPEC --chaos SEED
+///   --list --help
 std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::ostream& err);
 
 std::optional<SchedulerKind> scheduler_from_name(const std::string& name);

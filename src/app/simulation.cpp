@@ -92,9 +92,10 @@ Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
 
   dag_ = std::make_unique<DagScheduler>(
       sim_, [this](const TaskSet& set) { scheduler_->submit(set); });
+  dag_->set_resubmit([this](const TaskSet& set) { scheduler_->resubmit(set); });
   scheduler_->set_partition_success_handler(
-      [this](StageId stage, int partition, const TaskMetrics&) {
-        dag_->on_partition_success(stage, partition);
+      [this](StageId stage, int partition, const TaskMetrics& metrics) {
+        dag_->on_partition_success(stage, partition, metrics.node);
       });
 
   if (config_.sample_utilization) {
@@ -103,6 +104,29 @@ Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
   if (config_.enable_trace) {
     trace_ = std::make_unique<EventTrace>();
     scheduler_->set_trace(trace_.get());
+  }
+
+  FaultPlan plan = config_.faults;
+  if (config_.chaos_seed != 0) {
+    FaultPlan chaos =
+        make_chaos_plan(config_.chaos_seed, cluster_->size(), config_.chaos_horizon);
+    plan.events.insert(plan.events.end(), chaos.events.begin(), chaos.events.end());
+    plan.sort();
+  }
+  FaultToleranceConfig ft = config_.fault_tolerance;
+  ft.heartbeat_period = config_.heartbeat_period;
+  if (!plan.empty()) ft.enabled = true;  // faults imply blacklist + liveness
+  scheduler_->configure_fault_tolerance(ft);
+  if (!plan.empty()) {
+    FaultInjectorEnv fenv;
+    fenv.sim = &sim_;
+    fenv.cluster = cluster_.get();
+    for (auto& e : executors_) fenv.executors.push_back(e.get());
+    fenv.heartbeats = heartbeats_.get();
+    fenv.dag = dag_.get();
+    fenv.trace = trace_.get();
+    injector_ = std::make_unique<FaultInjector>(std::move(fenv), std::move(plan));
+    injector_->arm();
   }
 }
 
@@ -153,5 +177,7 @@ std::size_t Simulation::total_executor_losses() const {
   for (const auto& e : executors_) n += e->executor_losses();
   return n;
 }
+
+std::size_t Simulation::recomputed_partitions() const { return dag_->recomputed_partitions(); }
 
 }  // namespace rupam

@@ -17,6 +17,7 @@
 #include "cluster/heartbeat.hpp"
 #include "dag/dag_scheduler.hpp"
 #include "exec/executor.hpp"
+#include "faults/fault_injector.hpp"
 #include "metrics/utilization_sampler.hpp"
 #include "sched/baselines/capability_scheduler.hpp"
 #include "sched/baselines/fifo_scheduler.hpp"
@@ -66,6 +67,16 @@ struct SimulationConfig {
   /// exportable via Simulation::trace()).
   bool enable_trace = false;
 
+  /// Declarative fault plan to replay (see faults/fault_plan.hpp).
+  FaultPlan faults;
+  /// Non-zero: merge in a seeded random chaos plan.
+  std::uint64_t chaos_seed = 0;
+  SimTime chaos_horizon = 240.0;
+  /// Blacklisting + missed-heartbeat liveness. Auto-enabled whenever a
+  /// fault plan or chaos seed is configured; heartbeat_period is always
+  /// taken from the field above.
+  FaultToleranceConfig fault_tolerance;
+
   /// Safety valve: abort runs that exceed this much simulated time.
   SimTime max_sim_time = 48.0 * 3600.0;
 
@@ -93,9 +104,15 @@ class Simulation {
   const UtilizationSampler* sampler() const { return sampler_.get(); }
   /// Non-null when enable_trace was set.
   const EventTrace* trace() const { return trace_.get(); }
+  /// Non-null when a fault plan or chaos seed was configured.
+  const FaultInjector* injector() const { return injector_.get(); }
+  DagScheduler& dag() { return *dag_; }
+  HeartbeatService& heartbeats() { return *heartbeats_; }
 
   std::size_t total_oom_kills() const;
   std::size_t total_executor_losses() const;
+  /// Partitions recomputed because a crash destroyed their map output.
+  std::size_t recomputed_partitions() const;
 
  private:
   SimulationConfig config_;
@@ -108,6 +125,7 @@ class Simulation {
   std::unique_ptr<DagScheduler> dag_;
   std::unique_ptr<UtilizationSampler> sampler_;
   std::unique_ptr<EventTrace> trace_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace rupam

@@ -31,13 +31,15 @@ FairShareResource::FairShareResource(Simulator& sim, std::string name, double ca
 }
 
 double FairShareResource::effective_capacity() const {
-  if (claims_.size() <= 1) return capacity_;
-  return capacity_ / (1.0 + concurrency_penalty_ * static_cast<double>(claims_.size() - 1));
+  double scaled = capacity_ * capacity_scale_;
+  if (claims_.size() <= 1) return scaled;
+  return scaled / (1.0 + concurrency_penalty_ * static_cast<double>(claims_.size() - 1));
 }
 
 double FairShareResource::share_rate() const {
   if (claims_.empty()) return 0.0;
-  return std::min(per_claim_cap_, effective_capacity() / static_cast<double>(claims_.size()));
+  return std::min(per_claim_cap_ * capacity_scale_,
+                  effective_capacity() / static_cast<double>(claims_.size()));
 }
 
 void FairShareResource::integrate_progress() {
@@ -62,6 +64,15 @@ FairShareResource::ClaimId FairShareResource::start(double work, double speed_fa
   claims_.emplace(id, Claim{std::max(work, 0.0), speed_factor, std::move(on_complete)});
   reschedule();
   return id;
+}
+
+void FairShareResource::set_capacity_scale(double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("FairShareResource: capacity scale must be in (0, 1]");
+  }
+  integrate_progress();
+  capacity_scale_ = scale;
+  reschedule();
 }
 
 void FairShareResource::cancel(ClaimId id) {

@@ -39,6 +39,13 @@ class FairShareResource {
   /// Abort a claim (task killed/race lost). No-op if already finished.
   void cancel(ClaimId id);
 
+  /// Throttle (or restore) the deliverable capacity: effective capacity
+  /// and per-claim cap are both multiplied by `scale` in (0, 1]. In-flight
+  /// claims keep their integrated progress and are rescheduled at the new
+  /// rate — this is the fault injector's transient-slowdown lever.
+  void set_capacity_scale(double scale);
+  double capacity_scale() const { return capacity_scale_; }
+
   /// Number of in-flight claims.
   std::size_t active() const { return claims_.size(); }
   /// Fraction of capacity currently in use, in [0, 1].
@@ -49,7 +56,9 @@ class FairShareResource {
   /// Total units drained since construction.
   double total_drained();
 
-  double capacity() const { return capacity_; }
+  /// Currently deliverable capacity (nominal spec x throttle scale).
+  double capacity() const { return capacity_ * capacity_scale_; }
+  double nominal_capacity() const { return capacity_; }
   const std::string& name() const { return name_; }
 
  private:
@@ -70,6 +79,7 @@ class FairShareResource {
   double capacity_;
   double per_claim_cap_;
   double concurrency_penalty_;
+  double capacity_scale_ = 1.0;
   std::map<ClaimId, Claim> claims_;
   ClaimId next_id_ = 1;
   SimTime last_update_ = 0.0;

@@ -27,10 +27,26 @@ void HeartbeatService::stop() {
   pending_.clear();
 }
 
+void HeartbeatService::set_dropped(NodeId node, bool dropped) {
+  auto idx = static_cast<std::size_t>(node);
+  if (idx >= cluster_.size()) throw std::out_of_range("HeartbeatService: bad node id");
+  if (dropped_.size() < cluster_.size()) dropped_.resize(cluster_.size(), false);
+  dropped_[idx] = dropped;
+}
+
+bool HeartbeatService::dropped(NodeId node) const {
+  auto idx = static_cast<std::size_t>(node);
+  return idx < dropped_.size() && dropped_[idx];
+}
+
 void HeartbeatService::beat(NodeId id) {
   if (!running_) return;
-  NodeMetrics metrics = cluster_.node(id).metrics();
-  for (const auto& listener : listeners_) listener(metrics);
+  // A silenced node still reschedules its beat so reporting resumes the
+  // period after the fault clears.
+  if (cluster_.node(id).online() && !dropped(id)) {
+    NodeMetrics metrics = cluster_.node(id).metrics();
+    for (const auto& listener : listeners_) listener(metrics);
+  }
   pending_[static_cast<std::size_t>(id)] =
       cluster_.sim().schedule_after(period_, [this, id] { beat(id); });
 }

@@ -24,6 +24,12 @@ class HeartbeatService {
   void start();
   void stop();
 
+  /// Fault-injection lever: while dropped, a node's beats are swallowed
+  /// (the node keeps running — this models a flaky master link, not a
+  /// crash). Offline nodes (Node::online() == false) are silent too.
+  void set_dropped(NodeId node, bool dropped);
+  bool dropped(NodeId node) const;
+
   SimTime period() const { return period_; }
 
  private:
@@ -34,6 +40,7 @@ class HeartbeatService {
   bool running_ = false;
   std::vector<Listener> listeners_;
   std::vector<EventHandle> pending_;
+  std::vector<bool> dropped_;
 };
 
 }  // namespace rupam

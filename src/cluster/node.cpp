@@ -68,7 +68,10 @@ NodeMetrics Node::metrics() const {
   NodeMetrics m;
   m.node = id_;
   m.cpu_ghz = spec_.cpu_ghz;
-  m.cpu_perf = spec_.cpu_perf;
+  // A throttled CPU (fault injection / thermal misbehaviour) shows up in
+  // the heartbeat as reduced per-core speed, so capability-ranked
+  // schedulers demote the node while the slowdown lasts.
+  m.cpu_perf = spec_.cpu_perf * cpu_.capacity_scale();
   m.cores = spec_.cores;
   m.has_ssd = spec_.has_ssd;
   m.net_bandwidth = net_.capacity();

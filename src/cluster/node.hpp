@@ -52,6 +52,11 @@ class Node {
   NodeId id() const { return id_; }
   const NodeSpec& spec() const { return spec_; }
 
+  /// Crash/recover lever for the fault injector: an offline node emits no
+  /// heartbeats (its executor is downed separately). Default online.
+  bool online() const { return online_; }
+  void set_online(bool online) { online_ = online; }
+
   FairShareResource& cpu() { return cpu_; }
   FairShareResource& net() { return net_; }
   FairShareResource& disk_read() { return disk_read_; }
@@ -79,6 +84,7 @@ class Node {
   Simulator& sim_;
   NodeId id_;
   NodeSpec spec_;
+  bool online_ = true;
   FairShareResource cpu_;
   FairShareResource net_;
   FairShareResource disk_read_;

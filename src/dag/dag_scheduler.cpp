@@ -23,6 +23,7 @@ void DagScheduler::run(const Application& app, DoneFn on_done) {
 void DagScheduler::start_next_job() {
   ++current_job_index_;
   progress_.clear();
+  outputs_.clear();  // shuffle outputs are per-job; nothing outlives it
   if (static_cast<std::size_t>(current_job_index_) >= app_->jobs.size()) {
     finished_ = true;
     RUPAM_INFO(sim_.now(), "application '", app_->name, "' finished");
@@ -66,16 +67,66 @@ void DagScheduler::submit_ready_stages() {
   if (all_complete) start_next_job();
 }
 
-void DagScheduler::on_partition_success(StageId stage, int partition) {
+void DagScheduler::on_partition_success(StageId stage, int partition, NodeId node) {
   auto it = progress_.find(stage);
   if (it == progress_.end()) return;  // stale report from a previous job
   StageProgress& p = it->second;
+  if (p.stage->is_shuffle_map && node != kInvalidNode) {
+    outputs_.record(stage, partition, node);
+  }
   p.remaining_partitions.erase(partition);
   if (!p.complete && p.remaining_partitions.empty()) {
     p.complete = true;
     RUPAM_INFO(sim_.now(), "stage ", stage, " (", p.stage->name, ") complete");
     submit_ready_stages();
   }
+}
+
+bool DagScheduler::needed_by_incomplete_child(StageId stage) const {
+  for (const auto& [id, p] : progress_) {
+    if (p.complete) continue;
+    for (StageId parent : p.stage->parents) {
+      if (parent == stage) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t DagScheduler::on_node_lost(NodeId node) {
+  if (finished_) return 0;
+  auto lost = outputs_.invalidate_node(node);
+  std::size_t resubmitted = 0;
+  for (const auto& [stage_id, partitions] : lost) {
+    auto it = progress_.find(stage_id);
+    if (it == progress_.end()) continue;
+    StageProgress& p = it->second;
+    // Outputs nobody will read again are dead weight — Spark only
+    // recomputes on a FetchFailed, i.e. when a consumer still wants them.
+    if (!needed_by_incomplete_child(stage_id)) continue;
+    TaskSet partial = p.stage->tasks;
+    partial.tasks.clear();
+    for (const auto& spec : p.stage->tasks.tasks) {
+      for (int lost_part : partitions) {
+        if (spec.partition == lost_part) {
+          partial.tasks.push_back(spec);
+          break;
+        }
+      }
+    }
+    if (partial.tasks.empty()) continue;
+    for (const auto& spec : partial.tasks) {
+      p.remaining_partitions.insert(spec.partition);
+      ++recompute_counts_[{stage_id, spec.partition}];
+    }
+    p.complete = false;
+    resubmitted += partial.tasks.size();
+    recomputed_partitions_ += partial.tasks.size();
+    RUPAM_WARN(sim_.now(), "node ", node, " lost ", partial.tasks.size(),
+               " map output(s) of stage ", stage_id, " (", p.stage->name,
+               ") — resubmitting");
+    (resubmit_ ? resubmit_ : submit_)(partial);
+  }
+  return resubmitted;
 }
 
 }  // namespace rupam

@@ -3,6 +3,12 @@
 // parents have completed — independent stages run concurrently, which is
 // what lets RUPAM overlap tasks with different resource demands
 // (paper §III-C2).
+//
+// Recovery: completed shuffle-map partitions register their output
+// location in a MapOutputTracker. When a node crashes, every map output it
+// held is invalidated and — if a child stage still needs them — the parent
+// stage's lost partitions are resubmitted for recomputation (Spark's
+// FetchFailed → parent-stage retry path, applied eagerly on node loss).
 #pragma once
 
 #include <functional>
@@ -10,6 +16,7 @@
 #include <set>
 
 #include "dag/job.hpp"
+#include "dag/map_output_tracker.hpp"
 #include "simcore/simulator.hpp"
 
 namespace rupam {
@@ -21,21 +28,43 @@ class DagScheduler {
 
   DagScheduler(Simulator& sim, SubmitFn submit);
 
+  /// Optional separate path for lost-partition recomputation (wired to
+  /// SchedulerBase::resubmit, which revives tasks inside a still-active
+  /// stage). Falls back to the submit function when unset.
+  void set_resubmit(SubmitFn resubmit) { resubmit_ = std::move(resubmit); }
+
   /// Start executing `app`; `on_done` fires when the last job completes.
   void run(const Application& app, DoneFn on_done);
 
-  /// The task scheduler reports each partition's first successful attempt.
-  void on_partition_success(StageId stage, int partition);
+  /// The task scheduler reports each partition's first successful attempt;
+  /// `node` (when valid) registers a shuffle-map output location.
+  void on_partition_success(StageId stage, int partition, NodeId node = kInvalidNode);
+
+  /// Node crash: invalidate its map outputs and resubmit the lost
+  /// partitions of any stage a still-incomplete child depends on. Returns
+  /// the number of partitions resubmitted.
+  std::size_t on_node_lost(NodeId node);
 
   bool finished() const { return finished_; }
   JobId current_job() const { return current_job_index_ >= 0 ? current_job_index_ : -1; }
 
+  const MapOutputTracker& map_outputs() const { return outputs_; }
+  /// Total partitions resubmitted due to lost map outputs.
+  std::size_t recomputed_partitions() const { return recomputed_partitions_; }
+  /// Per-(stage, partition) recompute counts — the chaos suite checks
+  /// completions == 1 + recomputes for every partition.
+  const std::map<std::pair<StageId, int>, int>& recompute_counts() const {
+    return recompute_counts_;
+  }
+
  private:
   void start_next_job();
   void submit_ready_stages();
+  bool needed_by_incomplete_child(StageId stage) const;
 
   Simulator& sim_;
   SubmitFn submit_;
+  SubmitFn resubmit_;
   DoneFn on_done_;
   const Application* app_ = nullptr;
   int current_job_index_ = -1;
@@ -48,6 +77,9 @@ class DagScheduler {
     bool complete = false;
   };
   std::map<StageId, StageProgress> progress_;  // stages of the current job
+  MapOutputTracker outputs_;
+  std::size_t recomputed_partitions_ = 0;
+  std::map<std::pair<StageId, int>, int> recompute_counts_;
 };
 
 }  // namespace rupam

@@ -1,0 +1,39 @@
+#include "dag/map_output_tracker.hpp"
+
+namespace rupam {
+
+void MapOutputTracker::record(StageId stage, int partition, NodeId node) {
+  outputs_[stage][partition] = node;
+}
+
+std::map<StageId, std::vector<int>> MapOutputTracker::invalidate_node(NodeId node) {
+  std::map<StageId, std::vector<int>> lost;
+  for (auto stage_it = outputs_.begin(); stage_it != outputs_.end();) {
+    auto& parts = stage_it->second;
+    for (auto it = parts.begin(); it != parts.end();) {
+      if (it->second == node) {
+        lost[stage_it->first].push_back(it->first);
+        it = parts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    stage_it = parts.empty() ? outputs_.erase(stage_it) : std::next(stage_it);
+  }
+  return lost;
+}
+
+const NodeId* MapOutputTracker::location(StageId stage, int partition) const {
+  auto stage_it = outputs_.find(stage);
+  if (stage_it == outputs_.end()) return nullptr;
+  auto it = stage_it->second.find(partition);
+  return it == stage_it->second.end() ? nullptr : &it->second;
+}
+
+std::size_t MapOutputTracker::tracked() const {
+  std::size_t n = 0;
+  for (const auto& [stage, parts] : outputs_) n += parts.size();
+  return n;
+}
+
+}  // namespace rupam

@@ -1,0 +1,34 @@
+// MapOutputTracker: which node holds each completed shuffle-map
+// partition's output (Spark's MapOutputTrackerMaster, minus the
+// per-reducer block sizes — the simulator only needs locations so a node
+// crash can invalidate them and trigger recomputation).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rupam {
+
+class MapOutputTracker {
+ public:
+  /// Record (or overwrite, on recompute) the location of one partition's
+  /// map output.
+  void record(StageId stage, int partition, NodeId node);
+
+  /// Every registered output on `node` is lost (node crash). Removes the
+  /// registrations and returns stage → sorted lost partitions.
+  std::map<StageId, std::vector<int>> invalidate_node(NodeId node);
+
+  /// Location of a partition's output, or nullptr if unregistered/lost.
+  const NodeId* location(StageId stage, int partition) const;
+
+  std::size_t tracked() const;
+  void clear() { outputs_.clear(); }
+
+ private:
+  std::map<StageId, std::map<int, NodeId>> outputs_;
+};
+
+}  // namespace rupam

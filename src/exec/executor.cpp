@@ -92,23 +92,42 @@ void Executor::resolve_memory_pressure() {
   }
 }
 
-void Executor::lose_executor() {
+void Executor::terminate(const std::string& reason) {
   ++executor_losses_;
-  RUPAM_WARN(sim_.now(), "executor ", id_, " lost (JVM killed by OS), restarting in ",
-             config_.restart_delay, "s");
   alive_ = false;
   // Kill everything; iterate over a copy since kill() detaches.
   auto snapshot = running_;
   for (const auto& exec : snapshot) {
-    if (exec->running()) exec->kill("ExecutorLostFailure", /*notify=*/true);
+    if (exec->running()) exec->kill(reason, /*notify=*/true);
   }
   cache_.clear();
   pressure_timer_.cancel();
-  sim_.schedule_after(config_.restart_delay, [this] { restart(); });
   if (on_lost_) on_lost_(id_);
 }
 
+void Executor::lose_executor() {
+  RUPAM_WARN(sim_.now(), "executor ", id_, " lost (JVM killed by OS), restarting in ",
+             config_.restart_delay, "s");
+  terminate("ExecutorLostFailure");
+  sim_.schedule_after(config_.restart_delay, [this] { restart(); });
+}
+
+void Executor::crash(const std::string& reason) {
+  if (!alive_) return;  // already down (organic loss or overlapping fault)
+  RUPAM_WARN(sim_.now(), "executor ", id_, " crashed (injected fault)");
+  terminate(reason);
+}
+
 void Executor::restart() {
+  // An organically scheduled restart must not revive a worker whose node
+  // is crash-injected offline; the injector's recover step does that.
+  if (alive_ || !node_.online()) return;
+  alive_ = true;
+  if (on_ready_) on_ready_(id_);
+}
+
+void Executor::force_restart() {
+  if (alive_) return;
   alive_ = true;
   if (on_ready_) on_ready_(id_);
 }

@@ -163,6 +163,13 @@ class Executor {
   std::size_t oom_kills() const { return oom_kills_; }
   std::size_t executor_losses() const { return executor_losses_; }
 
+  /// Fault injection: hard-kill the worker (tasks fail with notify, cache
+  /// invalidated). Unlike an organic JVM loss, no self-restart is
+  /// scheduled — the injector revives the node with force_restart().
+  void crash(const std::string& reason = "ExecutorLostFailure (node crash)");
+  /// Revive a crashed worker immediately. No-op while alive.
+  void force_restart();
+
  private:
   friend class TaskExecution;
 
@@ -171,6 +178,7 @@ class Executor {
   void release_memory(Bytes amount);
   void check_memory_pressure();
   void resolve_memory_pressure();
+  void terminate(const std::string& reason);
   void lose_executor();
   void restart();
   void detach(TaskExecution* exec);

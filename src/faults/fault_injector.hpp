@@ -1,0 +1,71 @@
+// FaultInjector: replays a FaultPlan against a live simulation.
+//
+// Each event is scheduled on the simulator at its plan time; applying it
+// flips the corresponding lever (Node::set_online + Executor::crash,
+// FairShareResource::set_capacity_scale, HeartbeatService::set_dropped)
+// and, on a crash, tells the DagScheduler which map outputs died so the
+// FetchFailed recovery path resubmits the lost partitions. Recovery events
+// for bounded faults (crash downtime, slowdown/hbdrop windows) are
+// scheduled automatically.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/heartbeat.hpp"
+#include "dag/dag_scheduler.hpp"
+#include "exec/executor.hpp"
+#include "faults/fault_plan.hpp"
+#include "metrics/event_trace.hpp"
+#include "simcore/simulator.hpp"
+
+namespace rupam {
+
+struct FaultInjectorEnv {
+  Simulator* sim = nullptr;
+  Cluster* cluster = nullptr;
+  /// One executor per node, indexed by NodeId (same as SchedulerEnv).
+  std::vector<Executor*> executors;
+  /// Optional: needed for kHeartbeatDrop events.
+  HeartbeatService* heartbeats = nullptr;
+  /// Optional: crash events invalidate map outputs through it.
+  DagScheduler* dag = nullptr;
+  /// Optional structured trace (kFaultInjected per applied event).
+  EventTrace* trace = nullptr;
+};
+
+class FaultInjector {
+ public:
+  /// Validates the plan against the cluster size; throws on a bad plan.
+  FaultInjector(FaultInjectorEnv env, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedule every plan event on the simulator. Call once, before run().
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  std::size_t injected() const { return injected_; }
+  std::size_t crashes() const { return crashes_; }
+  std::size_t recoveries() const { return recoveries_; }
+  /// Partitions the DAG resubmitted because a crash ate their map output.
+  std::size_t partitions_resubmitted() const { return partitions_resubmitted_; }
+
+ private:
+  void apply(const FaultEvent& e);
+  void crash_node(NodeId node);
+  void recover_node(NodeId node);
+  void scale_resource(NodeId node, ResourceKind resource, double factor);
+  void trace_event(const FaultEvent& e, const std::string& detail);
+
+  FaultInjectorEnv env_;
+  FaultPlan plan_;
+  bool armed_ = false;
+  std::size_t injected_ = 0;
+  std::size_t crashes_ = 0;
+  std::size_t recoveries_ = 0;
+  std::size_t partitions_resubmitted_ = 0;
+};
+
+}  // namespace rupam

@@ -15,6 +15,12 @@ std::string_view to_string(TraceEventType type) {
     case TraceEventType::kTaskFailed: return "task_failed";
     case TraceEventType::kTaskRelocated: return "task_relocated";
     case TraceEventType::kExecutorLost: return "executor_lost";
+    case TraceEventType::kFaultInjected: return "fault_injected";
+    case TraceEventType::kNodeDead: return "node_dead";
+    case TraceEventType::kNodeRecovered: return "node_recovered";
+    case TraceEventType::kNodeBlacklisted: return "node_blacklisted";
+    case TraceEventType::kNodeUnblacklisted: return "node_unblacklisted";
+    case TraceEventType::kPartitionResubmitted: return "partition_resubmitted";
   }
   return "?";
 }
@@ -88,6 +94,12 @@ void EventTrace::write_chrome_tracing(std::ostream& os) const {
       }
       case TraceEventType::kExecutorLost:
       case TraceEventType::kTaskRelocated:
+      case TraceEventType::kFaultInjected:
+      case TraceEventType::kNodeDead:
+      case TraceEventType::kNodeRecovered:
+      case TraceEventType::kNodeBlacklisted:
+      case TraceEventType::kNodeUnblacklisted:
+      case TraceEventType::kPartitionResubmitted:
       case TraceEventType::kStageSubmitted: {
         emit("{\"name\": \"" + std::string(to_string(e.type)) + "\", \"ph\": \"i\", \"ts\": " +
              format_fixed(ts_us, 3) + ", \"pid\": " +

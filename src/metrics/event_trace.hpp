@@ -21,8 +21,15 @@ enum class TraceEventType : std::uint8_t {
   kTaskFailed,
   kTaskRelocated,
   kExecutorLost,
+  // Fault-injection & recovery events.
+  kFaultInjected,          // the injector applied a FaultEvent
+  kNodeDead,               // liveness: missed-heartbeat threshold crossed
+  kNodeRecovered,          // liveness: heartbeats resumed
+  kNodeBlacklisted,        // failure count tripped the blacklist
+  kNodeUnblacklisted,      // timed un-blacklist elapsed
+  kPartitionResubmitted,   // lost map output → parent partition recompute
 };
-inline constexpr int kNumTraceEventTypes = 7;
+inline constexpr int kNumTraceEventTypes = 13;
 
 std::string_view to_string(TraceEventType type);
 

@@ -67,7 +67,7 @@ void CapabilityScheduler::try_dispatch() {
       // ("nodes are ranked by capability, tasks are interchangeable").
       for (NodeId node : ranked_nodes(kind)) {
         Executor* exec = executor(node);
-        if (exec == nullptr || exec->free_slots() <= 0) continue;
+        if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
         if (kind == ResourceKind::kGpu && cluster().node(node).gpus().idle() == 0) continue;
         TaskState* next = nullptr;
         for (auto& task : stage.tasks) {
@@ -93,7 +93,7 @@ void CapabilityScheduler::try_dispatch() {
     TaskState& task = stage.tasks[task_index];
     for (NodeId node : ranked_nodes(stage_bottleneck(stage.set.stage_name))) {
       Executor* exec = executor(node);
-      if (exec == nullptr || exec->free_slots() <= 0) continue;
+      if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
       if (task.has_attempt_on(node)) continue;
       if (launch_task(stage, task, node, task.spec.gpu_accelerable, /*speculative=*/true)) {
         note_speculative_launch(task.spec.id);

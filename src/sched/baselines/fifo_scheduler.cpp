@@ -10,7 +10,7 @@ void FifoScheduler::try_dispatch() {
     for (std::size_t i = 0; i < ids.size(); ++i) {
       NodeId node = ids[(i + rotation_) % ids.size()];
       Executor* exec = executor(node);
-      if (exec == nullptr || exec->free_slots() <= 0) continue;
+      if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
       for (auto& [stage_id, stage] : stages_) {
         TaskState* next = nullptr;
         for (auto& task : stage.tasks) {
@@ -36,7 +36,10 @@ void FifoScheduler::try_dispatch() {
     TaskState& task = stage.tasks[task_index];
     for (NodeId node : ids) {
       Executor* exec = executor(node);
-      if (exec == nullptr || exec->free_slots() <= 0 || task.has_attempt_on(node)) continue;
+      if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node) ||
+          task.has_attempt_on(node)) {
+        continue;
+      }
       if (launch_task(stage, task, node, task.spec.gpu_accelerable, /*speculative=*/true)) {
         note_speculative_launch(task.spec.id);
         break;

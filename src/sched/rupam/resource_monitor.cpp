@@ -6,6 +6,21 @@ namespace rupam {
 
 void ResourceMonitor::record(const NodeMetrics& metrics) { latest_[metrics.node] = metrics; }
 
+void ResourceMonitor::record(const NodeMetrics& metrics, SimTime now) {
+  latest_[metrics.node] = metrics;
+  if (liveness_enabled_) liveness_.heartbeat(metrics.node, now);
+}
+
+void ResourceMonitor::configure_liveness(const LivenessConfig& cfg) {
+  liveness_.configure(cfg);
+  liveness_enabled_ = true;
+}
+
+std::vector<NodeId> ResourceMonitor::sweep_dead(SimTime now) {
+  if (!liveness_enabled_) return {};
+  return liveness_.sweep(now);
+}
+
 const NodeMetrics* ResourceMonitor::latest(NodeId node) const {
   auto it = latest_.find(node);
   return it == latest_.end() ? nullptr : &it->second;
@@ -16,6 +31,7 @@ std::vector<NodeId> ResourceMonitor::ranked(
   std::vector<const NodeMetrics*> rows;
   rows.reserve(latest_.size());
   for (const auto& [id, m] : latest_) {
+    if (dead(id)) continue;
     if (!admit || admit(m)) rows.push_back(&m);
   }
   std::sort(rows.begin(), rows.end(), [kind](const NodeMetrics* a, const NodeMetrics* b) {

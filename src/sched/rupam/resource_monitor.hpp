@@ -6,32 +6,54 @@
 // ordered by capacity/capability descending, then utilization ascending —
 // "most powerful first, least used first". Queues are rebuilt per round,
 // matching the paper's design of emptying them between offer rounds.
+//
+// With liveness configured, the heartbeat-path record() overload also
+// stamps last-seen times so the RM can declare silent nodes dead and drop
+// them from every queue (RUPAM's own view of node failure, independent of
+// the base scheduler's blacklist).
 #pragma once
 
 #include <functional>
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/liveness.hpp"
 #include "cluster/node.hpp"
 
 namespace rupam {
 
 class ResourceMonitor {
  public:
-  /// Ingest one heartbeat (the paper's executordataMap analogue).
+  /// Ingest one metrics snapshot (the paper's executordataMap analogue).
+  /// Does not touch liveness — used by dispatch-round refreshes.
   void record(const NodeMetrics& metrics);
+  /// Heartbeat-path ingest: also stamps the node's last-seen time.
+  void record(const NodeMetrics& metrics, SimTime now);
+
+  /// Enable missed-heartbeat detection (disabled until configured).
+  void configure_liveness(const LivenessConfig& cfg);
+  bool liveness_enabled() const { return liveness_enabled_; }
+  /// Declare silent nodes dead; returns the newly-dead ones.
+  std::vector<NodeId> sweep_dead(SimTime now);
+  bool dead(NodeId node) const { return liveness_enabled_ && liveness_.dead(node); }
 
   const NodeMetrics* latest(NodeId node) const;
   bool has(NodeId node) const { return latest(node) != nullptr; }
   std::size_t tracked_nodes() const { return latest_.size(); }
-  void clear() { latest_.clear(); }
+  void clear() {
+    latest_.clear();
+    liveness_.clear();
+  }
 
-  /// The per-resource priority queue: nodes passing `admit`, best first.
+  /// The per-resource priority queue: live nodes passing `admit`, best
+  /// first.
   std::vector<NodeId> ranked(ResourceKind kind,
                              const std::function<bool(const NodeMetrics&)>& admit) const;
 
  private:
   std::unordered_map<NodeId, NodeMetrics> latest_;
+  NodeLivenessTracker liveness_;
+  bool liveness_enabled_ = false;
 };
 
 }  // namespace rupam

@@ -12,9 +12,16 @@ RupamScheduler::RupamScheduler(SchedulerEnv env, RupamConfig config)
       tm_(db_, TaskManagerConfig{config.res_factor, config.mem_queue_threshold}) {}
 
 void RupamScheduler::on_heartbeat(const NodeMetrics& metrics) {
-  rm_.record(metrics);
+  rm_.record(metrics, sim().now());
   check_memory_straggler(metrics);
   SchedulerBase::on_heartbeat(metrics);
+}
+
+void RupamScheduler::fault_tolerance_changed() {
+  if (fault_tolerance_.enabled) {
+    rm_.configure_liveness(
+        {fault_tolerance_.heartbeat_period, fault_tolerance_.missed_heartbeats_dead});
+  }
 }
 
 void RupamScheduler::stage_submitted(StageState& stage) {
@@ -60,6 +67,7 @@ int RupamScheduler::running_of_kind(NodeId node, ResourceKind kind) const {
 }
 
 bool RupamScheduler::node_available(const NodeMetrics& metrics, ResourceKind kind) const {
+  if (!node_usable(metrics.node)) return false;
   Executor* exec = executor(metrics.node);
   if (exec == nullptr || !exec->alive()) return false;
   if (!config_.overcommit) return exec->free_slots() > 0;  // slot semantics (ablation)
@@ -222,6 +230,7 @@ RupamScheduler::Pick RupamScheduler::select_speculative(ResourceKind kind, NodeI
 
 void RupamScheduler::try_dispatch() {
   seed_monitor();
+  rm_.sweep_dead(sim().now());
   int misses = 0;
   while (misses < kNumResourceKinds) {
     ResourceKind kind = round_robin_.next();

@@ -68,6 +68,7 @@ class RupamScheduler : public SchedulerBase {
 
  protected:
   void try_dispatch() override;
+  void fault_tolerance_changed() override;
   void stage_submitted(StageState& stage) override;
   void task_succeeded(StageState& stage, TaskState& task, const TaskMetrics& metrics) override;
   void task_failed(StageState& stage, TaskState& task, const std::string& reason) override;

@@ -37,7 +37,30 @@ SchedulerBase::SchedulerBase(SchedulerEnv env) : env_(std::move(env)) {
   }
 }
 
-SchedulerBase::~SchedulerBase() { speculation_timer_.cancel(); }
+SchedulerBase::~SchedulerBase() {
+  speculation_timer_.cancel();
+  fault_tolerance_timer_.cancel();
+}
+
+void SchedulerBase::configure_fault_tolerance(const FaultToleranceConfig& cfg) {
+  fault_tolerance_ = cfg;
+  if (cfg.enabled) {
+    liveness_.configure({cfg.heartbeat_period, cfg.missed_heartbeats_dead});
+  }
+  fault_tolerance_changed();
+}
+
+bool SchedulerBase::node_usable(NodeId node) const {
+  if (!fault_tolerance_.enabled) return true;
+  if (liveness_.dead(node)) return false;
+  auto it = blacklisted_until_.find(node);
+  return it == blacklisted_until_.end() || sim().now() >= it->second;
+}
+
+bool SchedulerBase::node_blacklisted(NodeId node) const {
+  auto it = blacklisted_until_.find(node);
+  return it != blacklisted_until_.end() && sim().now() < it->second;
+}
 
 Executor* SchedulerBase::executor(NodeId node) const {
   if (node < 0 || static_cast<std::size_t>(node) >= env_.executors.size()) return nullptr;
@@ -77,10 +100,116 @@ void SchedulerBase::submit(const TaskSet& task_set) {
     speculation_timer_ =
         sim().schedule_after(speculation_.interval, [this] { speculation_tick(); });
   }
+  if (fault_tolerance_.enabled && !fault_tolerance_timer_.pending()) {
+    fault_tolerance_timer_ =
+        sim().schedule_after(fault_tolerance_.check_interval, [this] { fault_tolerance_tick(); });
+  }
   request_dispatch();
 }
 
-void SchedulerBase::on_heartbeat(const NodeMetrics&) { request_dispatch(); }
+void SchedulerBase::on_heartbeat(const NodeMetrics& metrics) {
+  if (fault_tolerance_.enabled && liveness_.heartbeat(metrics.node, sim().now())) {
+    trace(TraceEventType::kNodeRecovered, -1, -1, 0, metrics.node, "heartbeats resumed");
+    RUPAM_INFO(sim().now(), name(), ": node ", metrics.node, " recovered (heartbeats resumed)");
+  }
+  request_dispatch();
+}
+
+void SchedulerBase::fault_tolerance_tick() {
+  SimTime now = sim().now();
+  for (NodeId node : liveness_.sweep(now)) {
+    trace(TraceEventType::kNodeDead, -1, -1, 0, node, "missed heartbeats");
+    RUPAM_WARN(now, name(), ": node ", node, " declared dead (missed heartbeats)");
+  }
+  for (auto it = blacklisted_until_.begin(); it != blacklisted_until_.end();) {
+    if (now >= it->second) {
+      trace(TraceEventType::kNodeUnblacklisted, -1, -1, 0, it->first, "blacklist expired");
+      RUPAM_INFO(now, name(), ": node ", it->first, " un-blacklisted");
+      ++unblacklist_count_;
+      recent_failures_.erase(it->first);
+      it = blacklisted_until_.erase(it);
+      request_dispatch();
+    } else {
+      ++it;
+    }
+  }
+  fault_tolerance_timer_ =
+      sim().schedule_after(fault_tolerance_.check_interval, [this] { fault_tolerance_tick(); });
+}
+
+void SchedulerBase::note_node_failure(NodeId node) {
+  if (!fault_tolerance_.enabled) return;
+  SimTime now = sim().now();
+  auto& times = recent_failures_[node];
+  std::erase_if(times,
+                [&](SimTime t) { return t < now - fault_tolerance_.failure_window; });
+  times.push_back(now);
+  if (static_cast<int>(times.size()) < fault_tolerance_.blacklist_max_failures) return;
+  if (blacklisted_until_.count(node) > 0) return;
+  // Never blacklist the last usable node — a fully-blacklisted cluster
+  // would deadlock the job (Spark aborts instead; we keep running).
+  bool other_usable = false;
+  for (std::size_t n = 0; n < cluster().size(); ++n) {
+    NodeId other = static_cast<NodeId>(n);
+    if (other != node && node_usable(other)) {
+      other_usable = true;
+      break;
+    }
+  }
+  if (!other_usable) return;
+  blacklisted_until_[node] = now + fault_tolerance_.blacklist_duration;
+  ++blacklist_count_;
+  trace(TraceEventType::kNodeBlacklisted, -1, -1, 0, node,
+        std::to_string(times.size()) + " failures in window");
+  RUPAM_WARN(now, name(), ": node ", node, " blacklisted until ",
+             now + fault_tolerance_.blacklist_duration);
+}
+
+void SchedulerBase::resubmit(const TaskSet& task_set) {
+  auto it = stages_.find(task_set.stage);
+  if (it == stages_.end()) {
+    // Stage already drained: re-activate it with just the lost partitions.
+    for (const auto& spec : task_set.tasks) {
+      trace(TraceEventType::kPartitionResubmitted, task_set.stage, spec.id, 0, kInvalidNode,
+            "stage re-activated");
+    }
+    submit(task_set);
+    return;
+  }
+  StageState& stage = it->second;
+  for (const auto& spec : task_set.tasks) {
+    TaskState* found = nullptr;
+    for (auto& task : stage.tasks) {
+      if (task.spec.id == spec.id) {
+        found = &task;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      // The active stage is itself a partial resubmission that lacks this
+      // partition (two crashes hit the same stage): graft the task in.
+      stage.set.tasks.push_back(spec);
+      TaskState ts;
+      ts.spec = spec;
+      ts.submit_time = sim().now();
+      stage.tasks.push_back(std::move(ts));
+      ++stage.remaining;
+      trace(TraceEventType::kPartitionResubmitted, task_set.stage, spec.id, 0, kInvalidNode,
+            "grafted into partial stage");
+      task_relaunchable(stage, stage.tasks.back());
+      continue;
+    }
+    if (!found->finished) continue;  // already being recomputed
+    found->finished = false;
+    found->pending = true;
+    found->not_before = sim().now();
+    ++stage.remaining;
+    trace(TraceEventType::kPartitionResubmitted, task_set.stage, spec.id, 0, kInvalidNode,
+          "map output lost");
+    task_relaunchable(stage, *found);
+  }
+  request_dispatch();
+}
 
 void SchedulerBase::trace(TraceEventType type, StageId stage, TaskId task, AttemptId attempt,
                           NodeId node, std::string detail, SimTime duration) {
@@ -108,6 +237,7 @@ void SchedulerBase::request_dispatch() {
 
 bool SchedulerBase::launch_task(StageState& stage, TaskState& task, NodeId node, bool use_gpu,
                                 bool speculative, ResourceKind kind) {
+  if (!node_usable(node)) return false;
   Executor* exec = executor(node);
   if (exec == nullptr || !exec->alive()) return false;
   StageId stage_id = stage.set.stage;
@@ -197,6 +327,13 @@ void SchedulerBase::handle_failure(StageId stage_id, std::size_t task_index, Att
   if (it == stages_.end()) return;
   StageState& stage = it->second;
   TaskState& task = stage.tasks.at(task_index);
+  NodeId failed_node = kInvalidNode;
+  for (const auto& a : task.live) {
+    if (a.id == attempt) {
+      failed_node = a.node;
+      break;
+    }
+  }
   std::erase_if(task.live, [attempt](const Attempt& a) { return a.id == attempt; });
   if (task.finished) return;
 
@@ -205,6 +342,7 @@ void SchedulerBase::handle_failure(StageId stage_id, std::size_t task_index, Att
   failure.stage = stage_id;
   failure.stage_name = stage.set.stage_name;
   failure.partition = task.spec.partition;
+  failure.node = failed_node;
   failure.failed = true;
   failure.failure_reason = reason;
   failure.finish_time = sim().now();
@@ -219,6 +357,9 @@ void SchedulerBase::handle_failure(StageId stage_id, std::size_t task_index, Att
   // node) must not be re-stuffed into the same wave instantly.
   task.not_before =
       sim().now() + std::min(30.0, std::exp2(static_cast<double>(task.failures)));
+  if (fault_tolerance_.enabled && failed_node != kInvalidNode) {
+    note_node_failure(failed_node);
+  }
   task_failed(stage, task, reason);
   request_dispatch();
 }

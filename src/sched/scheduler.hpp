@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/liveness.hpp"
 #include "exec/executor.hpp"
 #include "metrics/event_trace.hpp"
 #include "simcore/simulator.hpp"
@@ -37,6 +38,20 @@ struct SpeculationConfig {
   SimTime interval = 1.0;    // check period
   double quantile = 0.75;    // fraction of tasks that must have finished
   double multiplier = 1.5;   // straggler = runtime > multiplier * median
+};
+
+/// Node-level fault tolerance: missed-heartbeat liveness plus failure
+/// blacklisting (Spark's spark.blacklist.*). Disabled by default — as in
+/// Spark 2.2 — so fault-free runs schedule no extra timer events and stay
+/// bit-identical to earlier seeds.
+struct FaultToleranceConfig {
+  bool enabled = false;
+  SimTime heartbeat_period = 1.0;     // must match the HeartbeatService
+  int missed_heartbeats_dead = 3;     // node is dead after this many misses
+  int blacklist_max_failures = 3;     // failures within the window → blacklist
+  SimTime failure_window = 60.0;
+  SimTime blacklist_duration = 120.0; // timed un-blacklist
+  SimTime check_interval = 1.0;       // dead-sweep / expiry period
 };
 
 class SchedulerBase {
@@ -61,8 +76,22 @@ class SchedulerBase {
     on_partition_success_ = std::move(fn);
   }
   void configure_speculation(SpeculationConfig cfg) { speculation_ = cfg; }
+  void configure_fault_tolerance(const FaultToleranceConfig& cfg);
   /// Optional structured event trace (not owned; may be null).
   void set_trace(EventTrace* trace) { trace_ = trace; }
+
+  /// Revive finished tasks whose map outputs were lost to a node crash; if
+  /// the stage already drained, the partial stage is submitted afresh.
+  /// Wired to DagScheduler::set_resubmit.
+  void resubmit(const TaskSet& task_set);
+
+  /// Neither dead (missed heartbeats) nor blacklisted. Always true while
+  /// fault tolerance is disabled.
+  bool node_usable(NodeId node) const;
+  bool node_blacklisted(NodeId node) const;
+  std::size_t blacklist_events() const { return blacklist_count_; }
+  std::size_t unblacklist_events() const { return unblacklist_count_; }
+  const FaultToleranceConfig& fault_tolerance() const { return fault_tolerance_; }
 
   /// Successful task attempts, in completion order (feeds every figure).
   const std::vector<TaskMetrics>& completed() const { return completed_; }
@@ -120,6 +149,9 @@ class SchedulerBase {
   virtual void task_relaunchable(StageState& stage, TaskState& task) {
     (void)stage, (void)task;
   }
+  /// Called after configure_fault_tolerance (RUPAM forwards the liveness
+  /// settings to its ResourceMonitor).
+  virtual void fault_tolerance_changed() {}
 
   /// Launch an attempt of `task` on `node`. `speculative` marks extra
   /// copies (primary pending flag untouched). Returns false if the
@@ -147,9 +179,15 @@ class SchedulerBase {
   /// Records that a speculative copy was launched (stats + dedup).
   void note_speculative_launch(TaskId task);
 
+  /// One failed attempt attributed to `node`; blacklists it once the
+  /// failure count inside the window crosses the threshold. Protected so
+  /// the blacklist unit tests can drive it directly.
+  void note_node_failure(NodeId node);
+
   SchedulerEnv env_;
   std::map<StageId, StageState> stages_;
   SpeculationConfig speculation_;
+  FaultToleranceConfig fault_tolerance_;
 
  private:
   void handle_success(StageId stage_id, std::size_t task_index, AttemptId attempt,
@@ -157,6 +195,7 @@ class SchedulerBase {
   void handle_failure(StageId stage_id, std::size_t task_index, AttemptId attempt,
                       const std::string& reason);
   void speculation_tick();
+  void fault_tolerance_tick();
 
   void trace(TraceEventType type, StageId stage, TaskId task, AttemptId attempt, NodeId node,
              std::string detail, SimTime duration = 0.0);
@@ -170,6 +209,12 @@ class SchedulerBase {
   std::size_t relocations_ = 0;
   bool dispatch_requested_ = false;
   EventHandle speculation_timer_;
+  EventHandle fault_tolerance_timer_;
+  NodeLivenessTracker liveness_;
+  std::map<NodeId, std::vector<SimTime>> recent_failures_;
+  std::map<NodeId, SimTime> blacklisted_until_;
+  std::size_t blacklist_count_ = 0;
+  std::size_t unblacklist_count_ = 0;
 };
 
 }  // namespace rupam

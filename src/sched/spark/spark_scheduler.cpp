@@ -54,7 +54,7 @@ void SparkScheduler::try_dispatch() {
       // one node does not soak up every wave.
       NodeId node = ids[(i + offer_rotation_) % ids.size()];
       Executor* exec = executor(node);
-      if (exec == nullptr || exec->free_slots() <= 0) continue;
+      if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
       Candidate c = pick_task_for(node);
       if (c.task == nullptr) continue;
       // Spark tries the GPU path whenever the application's library would
@@ -81,7 +81,7 @@ bool SparkScheduler::launch_speculative_copies() {
     TaskState& task = stage.tasks[task_index];
     for (NodeId node : cluster().node_ids()) {
       Executor* exec = executor(node);
-      if (exec == nullptr || exec->free_slots() <= 0) continue;
+      if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
       if (task.has_attempt_on(node)) continue;  // copy must land elsewhere
       if (launch_task(stage, task, node, task.spec.gpu_accelerable, /*speculative=*/true)) {
         note_speculative_launch(task.spec.id);

@@ -1,0 +1,40 @@
+// Shared assertions for the fault-injection suites: a faulted run is
+// correct when every partition of the application completed, each
+// partition has exactly one winning completion per (re)computation —
+// completions == 1 + recomputes — and nothing leaked (no active stages,
+// DAG finished).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+
+#include "app/simulation.hpp"
+
+namespace rupam {
+
+inline void expect_recovered_completion(Simulation& sim, const Application& app) {
+  std::map<std::pair<StageId, int>, int> completions;
+  for (const auto& m : sim.scheduler().completed()) ++completions[{m.stage, m.partition}];
+
+  EXPECT_EQ(completions.size(), app.total_tasks()) << "not every partition completed";
+
+  const auto& recomputes = sim.dag().recompute_counts();
+  for (const auto& [key, count] : completions) {
+    auto it = recomputes.find(key);
+    int expected = 1 + (it == recomputes.end() ? 0 : it->second);
+    EXPECT_EQ(count, expected) << "stage " << key.first << " partition " << key.second
+                               << ": completions must be 1 + recomputes";
+  }
+  for (const auto& [key, count] : recomputes) {
+    EXPECT_GT(completions.count(key), 0u)
+        << "recompute recorded for unknown partition (stage " << key.first << ", partition "
+        << key.second << ")";
+  }
+
+  EXPECT_EQ(sim.scheduler().active_stages(), 0u) << "scheduler leaked an active stage";
+  EXPECT_TRUE(sim.dag().finished());
+}
+
+}  // namespace rupam

@@ -1,0 +1,242 @@
+// Unit tests for the fault-tolerance primitives: missed-heartbeat
+// liveness (NodeLivenessTracker, ResourceMonitor) and SchedulerBase's
+// failure-count blacklist with timed un-blacklist.
+#include <gtest/gtest.h>
+
+#include "cluster/liveness.hpp"
+#include "cluster/presets.hpp"
+#include "exec/executor.hpp"
+#include "sched/rupam/resource_monitor.hpp"
+#include "sched/scheduler.hpp"
+
+namespace rupam {
+namespace {
+
+TEST(NodeLiveness, TableDrivenDeadThreshold) {
+  struct Case {
+    double period;
+    int missed;
+    SimTime last_beat;
+    SimTime now;
+    bool expect_dead;
+  };
+  // Dead iff now - last_beat > period * missed (strictly: the Nth beat may
+  // still be in flight at exactly the deadline).
+  const Case cases[] = {
+      {1.0, 3, 0.0, 3.0, false},   // exactly at the deadline: alive
+      {1.0, 3, 0.0, 3.01, true},   // just past: dead
+      {1.0, 3, 5.0, 7.9, false},   // recent beat keeps it alive
+      {1.0, 1, 0.0, 1.5, true},    // aggressive single-miss config
+      {2.0, 3, 0.0, 5.9, false},   // longer period scales the window
+      {2.0, 3, 0.0, 6.1, true},
+      {0.5, 4, 10.0, 11.9, false},
+      {0.5, 4, 10.0, 12.1, true},
+  };
+  for (const Case& c : cases) {
+    NodeLivenessTracker tracker;
+    tracker.configure({c.period, c.missed});
+    tracker.heartbeat(0, c.last_beat);
+    auto newly_dead = tracker.sweep(c.now);
+    EXPECT_EQ(tracker.dead(0), c.expect_dead)
+        << "period=" << c.period << " missed=" << c.missed << " last=" << c.last_beat
+        << " now=" << c.now;
+    EXPECT_EQ(newly_dead.size(), c.expect_dead ? 1u : 0u);
+  }
+}
+
+TEST(NodeLiveness, SweepReportsEachDeathOnceInNodeOrder) {
+  NodeLivenessTracker tracker;
+  tracker.configure({1.0, 3});
+  tracker.heartbeat(2, 0.0);
+  tracker.heartbeat(0, 0.0);
+  tracker.heartbeat(1, 50.0);
+  EXPECT_EQ(tracker.sweep(10.0), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(tracker.sweep(11.0), std::vector<NodeId>{});  // already reported
+  EXPECT_TRUE(tracker.dead(0));
+  EXPECT_FALSE(tracker.dead(1));
+  EXPECT_EQ(tracker.tracked(), 3u);
+}
+
+TEST(NodeLiveness, HeartbeatRevivesDeadNode) {
+  NodeLivenessTracker tracker;
+  tracker.configure({1.0, 3});
+  tracker.heartbeat(0, 0.0);
+  tracker.sweep(10.0);
+  ASSERT_TRUE(tracker.dead(0));
+  EXPECT_TRUE(tracker.heartbeat(0, 10.5));  // revive is reported
+  EXPECT_FALSE(tracker.dead(0));
+  EXPECT_FALSE(tracker.heartbeat(0, 11.0));  // steady-state beat is not
+  EXPECT_EQ(tracker.sweep(11.5), std::vector<NodeId>{});
+}
+
+TEST(NodeLiveness, UntrackedNodeIsNotDead) {
+  NodeLivenessTracker tracker;
+  tracker.configure({1.0, 3});
+  EXPECT_FALSE(tracker.dead(7));
+  EXPECT_EQ(tracker.sweep(100.0), std::vector<NodeId>{});
+}
+
+TEST(NodeLiveness, RejectsBadConfig) {
+  NodeLivenessTracker tracker;
+  EXPECT_THROW(tracker.configure({0.0, 3}), std::invalid_argument);
+  EXPECT_THROW(tracker.configure({1.0, 0}), std::invalid_argument);
+}
+
+NodeMetrics node_metrics(NodeId id, double perf = 1.0) {
+  NodeMetrics m;
+  m.node = id;
+  m.cpu_perf = perf;
+  m.cores = 8;
+  m.memory = 16.0 * kGiB;
+  m.free_memory = 8.0 * kGiB;
+  m.net_bandwidth = gbit_per_s(1.0);
+  return m;
+}
+
+TEST(ResourceMonitorLiveness, DeadNodesLeaveEveryQueue) {
+  ResourceMonitor rm;
+  rm.configure_liveness({1.0, 3});
+  rm.record(node_metrics(0), /*now=*/0.0);
+  rm.record(node_metrics(1), /*now=*/0.0);
+  rm.record(node_metrics(1), /*now=*/9.0);  // node 1 keeps beating
+  auto newly_dead = rm.sweep_dead(10.0);
+  EXPECT_EQ(newly_dead, std::vector<NodeId>{0});
+  EXPECT_TRUE(rm.dead(0));
+  EXPECT_FALSE(rm.dead(1));
+  for (auto kind : {ResourceKind::kCpu, ResourceKind::kMemory, ResourceKind::kDisk,
+                    ResourceKind::kNetwork}) {
+    EXPECT_EQ(rm.ranked(kind, nullptr), std::vector<NodeId>{1}) << to_string(kind);
+  }
+}
+
+TEST(ResourceMonitorLiveness, SnapshotRefreshDoesNotRevive) {
+  ResourceMonitor rm;
+  rm.configure_liveness({1.0, 3});
+  rm.record(node_metrics(0), /*now=*/0.0);
+  rm.sweep_dead(10.0);
+  ASSERT_TRUE(rm.dead(0));
+  // The dispatch-round refresh path (no timestamp) must not count as a
+  // heartbeat — only real beats revive.
+  rm.record(node_metrics(0));
+  EXPECT_TRUE(rm.dead(0));
+  EXPECT_EQ(rm.ranked(ResourceKind::kCpu, nullptr), std::vector<NodeId>{});
+  rm.record(node_metrics(0), /*now=*/10.5);
+  EXPECT_FALSE(rm.dead(0));
+  EXPECT_EQ(rm.ranked(ResourceKind::kCpu, nullptr), std::vector<NodeId>{0});
+}
+
+TEST(ResourceMonitorLiveness, DisabledByDefault) {
+  ResourceMonitor rm;
+  rm.record(node_metrics(0), /*now=*/0.0);
+  EXPECT_EQ(rm.sweep_dead(1000.0), std::vector<NodeId>{});
+  EXPECT_FALSE(rm.dead(0));
+}
+
+// Minimal concrete scheduler exposing the protected blacklist machinery.
+class TestScheduler : public SchedulerBase {
+ public:
+  using SchedulerBase::note_node_failure;
+  using SchedulerBase::SchedulerBase;
+  std::string name() const override { return "test"; }
+
+ protected:
+  void try_dispatch() override {}
+};
+
+struct BlacklistHarness {
+  Simulator sim;
+  Cluster cluster{sim, gbit_per_s(1.0)};
+  std::vector<std::unique_ptr<Executor>> executors;
+  std::unique_ptr<TestScheduler> sched;
+
+  explicit BlacklistHarness(std::size_t nodes = 3) {
+    Rng rng(1);
+    for (std::size_t i = 0; i < nodes; ++i) cluster.add_node(thor_spec());
+    SchedulerEnv env;
+    env.sim = &sim;
+    env.cluster = &cluster;
+    for (NodeId id : cluster.node_ids()) {
+      executors.push_back(
+          std::make_unique<Executor>(sim, cluster.node(id), id, ExecutorConfig{}, rng.split()));
+      env.executors.push_back(executors.back().get());
+    }
+    sched = std::make_unique<TestScheduler>(env);
+  }
+};
+
+FaultToleranceConfig ft_config() {
+  FaultToleranceConfig ft;
+  ft.enabled = true;
+  ft.blacklist_max_failures = 3;
+  ft.failure_window = 60.0;
+  ft.blacklist_duration = 120.0;
+  return ft;
+}
+
+TEST(Blacklist, TableDrivenFailureThreshold) {
+  struct Case {
+    int failures;
+    bool expect_blacklisted;
+  };
+  for (const auto& c : {Case{1, false}, Case{2, false}, Case{3, true}, Case{5, true}}) {
+    BlacklistHarness h;
+    h.sched->configure_fault_tolerance(ft_config());
+    for (int i = 0; i < c.failures; ++i) h.sched->note_node_failure(1);
+    EXPECT_EQ(h.sched->node_blacklisted(1), c.expect_blacklisted)
+        << c.failures << " failures";
+    EXPECT_EQ(h.sched->node_usable(1), !c.expect_blacklisted);
+    EXPECT_TRUE(h.sched->node_usable(0));  // other nodes untouched
+    EXPECT_EQ(h.sched->blacklist_events(), c.expect_blacklisted ? 1u : 0u);
+  }
+}
+
+TEST(Blacklist, DisabledFaultToleranceIgnoresFailures) {
+  BlacklistHarness h;
+  for (int i = 0; i < 10; ++i) h.sched->note_node_failure(1);
+  EXPECT_TRUE(h.sched->node_usable(1));
+  EXPECT_EQ(h.sched->blacklist_events(), 0u);
+}
+
+TEST(Blacklist, FailuresOutsideWindowAreForgotten) {
+  BlacklistHarness h;
+  h.sched->configure_fault_tolerance(ft_config());
+  h.sched->note_node_failure(1);
+  h.sched->note_node_failure(1);
+  // Advance past the 60 s window; the two old failures must not count.
+  h.sim.schedule_at(100.0, [] {});
+  while (h.sim.step()) {
+  }
+  h.sched->note_node_failure(1);
+  h.sched->note_node_failure(1);
+  EXPECT_FALSE(h.sched->node_blacklisted(1));
+  h.sched->note_node_failure(1);  // third within the fresh window
+  EXPECT_TRUE(h.sched->node_blacklisted(1));
+}
+
+TEST(Blacklist, TimedUnblacklistRestoresNode) {
+  BlacklistHarness h;
+  h.sched->configure_fault_tolerance(ft_config());
+  for (int i = 0; i < 3; ++i) h.sched->note_node_failure(2);
+  ASSERT_TRUE(h.sched->node_blacklisted(2));
+  // node_usable flips as soon as the expiry time passes (the periodic
+  // sweep also erases the entry, but usability must not wait for it).
+  h.sim.schedule_at(120.5, [] {});
+  while (h.sim.step()) {
+  }
+  EXPECT_FALSE(h.sched->node_blacklisted(2));
+  EXPECT_TRUE(h.sched->node_usable(2));
+}
+
+TEST(Blacklist, NeverBlacklistsLastUsableNode) {
+  BlacklistHarness h(2);
+  h.sched->configure_fault_tolerance(ft_config());
+  for (int i = 0; i < 3; ++i) h.sched->note_node_failure(0);
+  ASSERT_TRUE(h.sched->node_blacklisted(0));
+  // Node 1 is now the only usable node: it must survive any failure count.
+  for (int i = 0; i < 10; ++i) h.sched->note_node_failure(1);
+  EXPECT_FALSE(h.sched->node_blacklisted(1));
+  EXPECT_TRUE(h.sched->node_usable(1));
+}
+
+}  // namespace
+}  // namespace rupam
