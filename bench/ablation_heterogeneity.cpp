@@ -55,14 +55,19 @@ int main(int argc, char** argv) {
                       "Spark/RUPAM speedup on homogeneous vs heterogeneous clusters");
 
   TextTable table({"Workload", "Homogeneous cluster", "Hydra (heterogeneous)"});
+  bench::JsonReport json("ablation_heterogeneity");
   bool premise_holds = true;
   for (const char* workload : {"LR", "TeraSort", "PR"}) {
     double homo = speedup_on(homogeneous_cluster(), workload, reps);
     double hydra = speedup_on({}, workload, reps);  // empty = Hydra preset
     table.add_row({workload, format_fixed(homo, 2) + "x", format_fixed(hydra, 2) + "x"});
     premise_holds = premise_holds && hydra >= homo - 0.15;
+    json.add(std::string(workload) + "_homogeneous_speedup", homo);
+    json.add(std::string(workload) + "_hydra_speedup", hydra);
   }
   table.print(std::cout);
+  json.add("premise_holds", premise_holds ? "yes" : "no");
+  json.write();
 
   std::cout << "\nReading: on identical nodes there is little for heterogeneity-awareness\n"
                "to exploit, so the speedup should shrink toward ~1x; on Hydra it should be\n"

@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
       {"no over-commit (slot semantics)", "TeraSort", no_overcommit},
   };
 
+  bench::JsonReport json("ablation_rupam");
   std::map<std::string, double> baselines;
   for (const auto& c : cases) {
     double makespan = run_with(c.workload, c.cfg, reps);
@@ -63,6 +64,11 @@ int main(int argc, char** argv) {
     double rel = makespan / baselines[key];
     table.add_row({c.label, c.workload, format_fixed(makespan, 1),
                    format_fixed(rel, 2) + "x"});
+    std::string slug = c.label;
+    for (char& ch : slug) {
+      if (ch == ' ' || ch == '/' || ch == '-' || ch == '(' || ch == ')') ch = '_';
+    }
+    json.add(key + "_" + slug + "_s", makespan);
   }
   table.print(std::cout);
 
@@ -70,9 +76,12 @@ int main(int argc, char** argv) {
   std::cout << "\nRes_factor sensitivity (LR):\n";
   TextTable sweep({"Res_factor", "Makespan (s)"});
   for (double rf : {1.2, 1.5, 2.0, 3.0, 4.0}) {
-    sweep.add_row({format_number(rf), format_fixed(run_with("LR", full, reps, rf), 1)});
+    double makespan = run_with("LR", full, reps, rf);
+    sweep.add_row({format_number(rf), format_fixed(makespan, 1)});
+    json.add("LR_res_factor_" + format_number(rf) + "_s", makespan);
   }
   sweep.print(std::cout);
+  json.write();
   std::cout << "\nReading: >1.0x means removing the mechanism slows the workload down.\n";
   return 0;
 }

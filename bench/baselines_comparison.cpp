@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const std::vector<SchedulerKind> ladder = {SchedulerKind::kFifo, SchedulerKind::kSpark,
                                              SchedulerKind::kStageAware,
                                              SchedulerKind::kRupam};
+  bench::JsonReport json("baselines_comparison");
 
   for (const char* name : {"LR", "PR", "TeraSort"}) {
     std::cout << "\n(" << name << ")\n";
@@ -30,9 +31,12 @@ int main(int argc, char** argv) {
       table.add_row({std::string(to_string(kind)), format_fixed(r.mean_makespan(), 1),
                      format_fixed(r.ci95_makespan(), 1),
                      format_fixed(r.mean_makespan() / rupam_mean, 2) + "x"});
+      json.add(std::string(name) + "_" + std::string(to_string(kind)) + "_s",
+               r.mean_makespan());
     }
     table.print(std::cout);
   }
+  json.write();
   std::cout << "\nReading: stage-level awareness helps over locality-only scheduling, but\n"
                "per-task characterization (RUPAM) is needed once tasks within a stage\n"
                "diverge — the paper's central claim.\n";

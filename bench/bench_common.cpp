@@ -1,5 +1,8 @@
 #include "bench_common.hpp"
 
+#include <fstream>
+#include <sstream>
+
 namespace rupam::bench {
 
 void print_header(const std::string& artifact, const std::string& description) {
@@ -29,5 +32,54 @@ Comparison compare(const WorkloadPreset& preset, int repetitions, int iterations
 std::string gb(double bytes) { return format_fixed(bytes / kGiB, 2); }
 
 std::string pct(double fraction) { return format_fixed(fraction * 100.0, 1); }
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string name) : path_("BENCH_" + std::move(name) + ".json") {}
+
+void JsonReport::add(const std::string& key, double value) {
+  std::ostringstream os;
+  os.precision(6);
+  os << value;
+  entries_.emplace_back(key, os.str());
+}
+
+void JsonReport::add(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+void JsonReport::add_comparison(const std::string& prefix, const Comparison& c) {
+  add(prefix + "_spark_s", c.spark.mean_makespan());
+  add(prefix + "_rupam_s", c.rupam.mean_makespan());
+  add(prefix + "_speedup", c.speedup());
+}
+
+bool JsonReport::write() const {
+  std::ofstream f(path_);
+  if (!f) {
+    std::cerr << "cannot write " << path_ << "\n";
+    return false;
+  }
+  f << "{\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    f << "  \"" << json_escape(entries_[i].first) << "\": " << entries_[i].second
+      << (i + 1 < entries_.size() ? "," : "") << "\n";
+  }
+  f << "}\n";
+  std::cout << "[json] wrote " << path_ << "\n";
+  return f.good();
+}
 
 }  // namespace rupam::bench

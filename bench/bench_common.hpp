@@ -3,6 +3,8 @@
 
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.hpp"
 #include "metrics/experiment.hpp"
@@ -26,5 +28,26 @@ Comparison compare(const WorkloadPreset& preset, int repetitions = 5,
 
 std::string gb(double bytes);
 std::string pct(double fraction);
+
+/// Machine-readable sidecar next to a bench's stdout tables: a flat
+/// key→value JSON object written to BENCH_<name>.json in the working
+/// directory, so CI and plotting scripts don't have to scrape tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name);
+
+  void add(const std::string& key, double value);
+  void add(const std::string& key, const std::string& value);
+  /// Records <prefix>_spark_s, <prefix>_rupam_s and <prefix>_speedup.
+  void add_comparison(const std::string& prefix, const Comparison& c);
+
+  const std::string& path() const { return path_; }
+  /// Returns false (and prints to stderr) when the file cannot be written.
+  bool write() const;
+
+ private:
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> entries_;  // key → rendered value
+};
 
 }  // namespace rupam::bench

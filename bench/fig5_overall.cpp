@@ -10,12 +10,14 @@ int main(int argc, char** argv) {
 
   TextTable table({"Workload", "Spark (s)", "±95% CI", "RUPAM (s)", "±95% CI", "Speedup",
                    "Spark failures", "Spark exec losses"});
+  bench::JsonReport json("fig5_overall");
   double speedup_sum = 0.0, improvement_sum = 0.0;
   double multi_iter_sum = 0.0;
   int multi_iter_count = 0;
 
   for (const auto& preset : table3_workloads()) {
     bench::Comparison c = bench::compare(preset, reps);
+    json.add_comparison(preset.name, c);
     std::size_t failures = 0, losses = 0;
     for (const auto& r : c.spark.runs) {
       failures += r.failed_attempts;
@@ -37,6 +39,9 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   auto n = static_cast<double>(table3_workloads().size());
+  json.add("avg_improvement_pct", improvement_sum / n * 100.0);
+  json.add("avg_speedup", speedup_sum / n);
+  json.write();
   std::cout << "\nAverage improvement over Spark: "
             << format_fixed(improvement_sum / n * 100.0, 1) << "% (paper: 37.7%)\n"
             << "Average speedup of multi-iteration workloads (LR, PR, TC, KMeans): "

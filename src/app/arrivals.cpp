@@ -1,0 +1,77 @@
+#include "app/arrivals.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "workloads/presets.hpp"
+
+namespace rupam {
+namespace {
+
+/// Highest id of each kind in `app`; the next submission's ids start one
+/// past these.
+struct IdCeiling {
+  JobId job = -1;
+  StageId stage = -1;
+  TaskId task = -1;
+};
+
+IdCeiling id_ceiling(const Application& app) {
+  IdCeiling c;
+  for (const Job& job : app.jobs) {
+    c.job = std::max(c.job, job.id);
+    for (const Stage& stage : job.stages) {
+      c.stage = std::max(c.stage, stage.id);
+      for (const TaskSpec& task : stage.tasks.tasks) c.task = std::max(c.task, task.id);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+void SubmissionStream::add(SimTime at, Application app, const std::string& pool) {
+  std::string tag = "a" + std::to_string(items_.size()) + "_";
+  offset_ids(app, next_job_, next_stage_, next_task_, tag);
+  if (!pool.empty()) assign_pool(app, pool);
+  IdCeiling c = id_ceiling(app);
+  next_job_ = std::max(next_job_, static_cast<JobId>(c.job + 1));
+  next_stage_ = std::max(next_stage_, static_cast<StageId>(c.stage + 1));
+  next_task_ = std::max(next_task_, static_cast<TaskId>(c.task + 1));
+  items_.push_back(TimedSubmission{at, std::move(app)});
+}
+
+SubmissionStream make_poisson_stream(const ArrivalConfig& config,
+                                     const std::vector<NodeId>& nodes) {
+  SubmissionStream stream;
+  append_poisson_arrivals(stream, config, nodes);
+  return stream;
+}
+
+void append_poisson_arrivals(SubmissionStream& stream, const ArrivalConfig& config,
+                             const std::vector<NodeId>& nodes) {
+  if (config.rate <= 0.0) throw std::invalid_argument("arrival rate must be > 0");
+  if (config.tenants <= 0) throw std::invalid_argument("tenants must be > 0");
+  std::vector<std::string> mix = config.mix;
+  if (mix.empty()) {
+    for (const WorkloadPreset& preset : table3_workloads()) mix.push_back(preset.name);
+  }
+  Rng rng(config.seed, 0x9e3779b97f4a7c15ULL);
+  SimTime t = 0.0;
+  std::size_t k = 0;
+  while (true) {
+    t += rng.exponential(config.rate);
+    if (t > config.duration) break;
+    if (config.max_apps != 0 && k >= config.max_apps) break;
+    const WorkloadPreset& preset = workload_preset(mix[rng.uniform_index(mix.size())]);
+    Application app =
+        build_workload(preset, nodes, rng.next_u64(), config.iterations_override);
+    app.name += "#" + std::to_string(k);
+    std::string pool = "tenant" + std::to_string(k % static_cast<std::size_t>(config.tenants));
+    stream.add(t, std::move(app), pool);
+    ++k;
+  }
+}
+
+}  // namespace rupam

@@ -24,6 +24,12 @@ std::string cli_usage() {
          "  --faults SPEC          inject faults, e.g. 'crash@60:node=3:down=40;\n"
          "                         slow@30:node=0:res=cpu:factor=0.3:for=60'\n"
          "  --chaos SEED           inject a seeded random fault plan\n"
+         "  --arrivals RATE        multi-tenant mode: open-loop Poisson application\n"
+         "                         arrivals at RATE apps/s (--workload restricts the\n"
+         "                         mix; default draws from all of Table III)\n"
+         "  --tenants N            tenant pools for --arrivals (default 2)\n"
+         "  --pool-policy NAME     fifo|fair cross-job scheduling policy (default fifo)\n"
+         "  --duration T           arrival generation horizon in seconds (default 600)\n"
          "  --list                 list available workloads\n"
          "  --help                 this text\n";
 }
@@ -56,6 +62,7 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::o
     } else if (a == "--workload") {
       if (!need_value(i)) return std::nullopt;
       opts.workload = args[++i];
+      opts.workload_explicit = true;
     } else if (a == "--scheduler") {
       if (!need_value(i)) return std::nullopt;
       auto kind = scheduler_from_name(args[++i]);
@@ -103,6 +110,38 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::o
         err << "chaos seed must be non-zero\n";
         return std::nullopt;
       }
+    } else if (a == "--arrivals") {
+      if (!need_value(i)) return std::nullopt;
+      opts.arrivals = std::atof(args[++i].c_str());
+      if (opts.arrivals <= 0.0) {
+        err << "arrival rate must be > 0\n";
+        return std::nullopt;
+      }
+    } else if (a == "--tenants") {
+      if (!need_value(i)) return std::nullopt;
+      opts.tenants = std::atoi(args[++i].c_str());
+      if (opts.tenants < 1) {
+        err << "tenants must be >= 1\n";
+        return std::nullopt;
+      }
+    } else if (a == "--pool-policy") {
+      if (!need_value(i)) return std::nullopt;
+      const std::string& name = args[++i];
+      if (name == "fifo") {
+        opts.pool_policy = PoolPolicy::kFifo;
+      } else if (name == "fair") {
+        opts.pool_policy = PoolPolicy::kFair;
+      } else {
+        err << "unknown pool policy '" << name << "'\n";
+        return std::nullopt;
+      }
+    } else if (a == "--duration") {
+      if (!need_value(i)) return std::nullopt;
+      opts.duration = std::atof(args[++i].c_str());
+      if (opts.duration <= 0.0) {
+        err << "duration must be > 0\n";
+        return std::nullopt;
+      }
     } else {
       err << "unknown argument '" << a << "'\n";
       return std::nullopt;
@@ -110,6 +149,94 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::o
   }
   return opts;
 }
+
+namespace {
+
+int run_multi_tenant(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  SimulationConfig cfg;
+  cfg.scheduler = options.scheduler;
+  cfg.seed = options.seed;
+  cfg.pools.policy = options.pool_policy;
+  cfg.sample_utilization = options.sample_utilization;
+  cfg.enable_trace = !options.trace_csv.empty() || !options.trace_chrome.empty();
+  if (!options.faults.empty()) {
+    try {
+      cfg.faults = parse_fault_spec(options.faults);
+    } catch (const std::exception& e) {
+      err << e.what() << "\n";
+      return 2;
+    }
+  }
+  cfg.chaos_seed = options.chaos_seed;
+  std::optional<Simulation> sim_storage;
+  try {
+    sim_storage.emplace(cfg);
+  } catch (const std::invalid_argument& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+  Simulation& sim = *sim_storage;
+
+  ArrivalConfig arrivals;
+  arrivals.rate = options.arrivals;
+  arrivals.duration = options.duration;
+  arrivals.tenants = options.tenants;
+  arrivals.seed = options.seed;
+  arrivals.iterations_override = options.iterations;
+  if (options.workload_explicit) arrivals.mix = {options.workload};
+  SubmissionStream stream;
+  try {
+    stream = make_poisson_stream(arrivals, sim.cluster().node_ids());
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+  if (stream.empty()) {
+    err << "no arrivals drawn — raise --arrivals or --duration\n";
+    return 2;
+  }
+
+  TenantRunReport report = sim.run(stream);
+  out << stream.size() << " applications (" << report.jobs.size() << " jobs) under "
+      << to_string(options.scheduler) << ", " << to_string(options.pool_policy)
+      << " pools (arrivals=" << options.arrivals << "/s, tenants=" << options.tenants
+      << ", duration=" << format_fixed(options.duration, 0) << "s)\n";
+  out << "makespan: " << format_fixed(report.makespan, 1) << " s\n";
+  const JctSummary& o = report.overall;
+  out << "JCT: mean=" << format_fixed(o.mean, 1) << "s p50=" << format_fixed(o.p50, 1)
+      << "s p95=" << format_fixed(o.p95, 1) << "s p99=" << format_fixed(o.p99, 1)
+      << "s max=" << format_fixed(o.max, 1)
+      << "s queueing=" << format_fixed(o.mean_queueing, 1) << "s\n";
+  for (const auto& [pool, s] : report.per_pool) {
+    out << "pool " << (pool.empty() ? "default" : pool) << ": jobs=" << s.count
+        << " mean=" << format_fixed(s.mean, 1) << "s p95=" << format_fixed(s.p95, 1)
+        << "s queueing=" << format_fixed(s.mean_queueing, 1) << "s\n";
+  }
+  if (options.chaos_seed != 0 || !options.faults.empty()) {
+    out << "recomputed_partitions=" << sim.recomputed_partitions() << "\n";
+  }
+  if (sim.trace() != nullptr) {
+    if (!options.trace_csv.empty()) {
+      std::ofstream f(options.trace_csv);
+      if (!f) {
+        err << "cannot open " << options.trace_csv << "\n";
+        return 2;
+      }
+      sim.trace()->write_csv(f);
+    }
+    if (!options.trace_chrome.empty()) {
+      std::ofstream f(options.trace_chrome);
+      if (!f) {
+        err << "cannot open " << options.trace_chrome << "\n";
+        return 2;
+      }
+      sim.trace()->write_chrome_tracing(f);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
   if (options.help) {
@@ -122,6 +249,17 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
           << p.iterations << " iterations\n";
     }
     return 0;
+  }
+  if (options.arrivals > 0.0) {
+    if (options.workload_explicit) {
+      try {
+        workload_preset(options.workload);  // fail fast on unknown names
+      } catch (const std::exception& e) {
+        err << e.what() << "\n";
+        return 2;
+      }
+    }
+    return run_multi_tenant(options, out, err);
   }
 
   const WorkloadPreset* preset = nullptr;

@@ -13,7 +13,8 @@
 namespace rupam {
 
 struct CliOptions {
-  std::string workload = "PR";  // Table III short name
+  std::string workload = "PR";    // Table III short name
+  bool workload_explicit = false;  // user passed --workload
   SchedulerKind scheduler = SchedulerKind::kRupam;
   int iterations = 0;  // 0 = preset default
   int repetitions = 1;
@@ -23,6 +24,12 @@ struct CliOptions {
   std::string trace_chrome;  // chrome://tracing JSON path
   std::string faults;        // fault spec (see faults/fault_plan.hpp)
   std::uint64_t chaos_seed = 0;  // non-zero: add a seeded chaos plan
+  /// Multi-tenant mode (> 0): open-loop Poisson application arrivals at
+  /// this rate (apps per simulated second).
+  double arrivals = 0.0;
+  int tenants = 2;                             // tenant pools for --arrivals
+  PoolPolicy pool_policy = PoolPolicy::kFifo;  // cross-job policy
+  SimTime duration = 600.0;                    // arrival generation horizon
   bool list_workloads = false;
   bool help = false;
 };
@@ -32,6 +39,7 @@ struct CliOptions {
 ///   --workload NAME --scheduler spark|rupam|stageaware|fifo
 ///   --iterations N --repetitions N --seed N --sample
 ///   --trace-csv PATH --trace-chrome PATH --faults SPEC --chaos SEED
+///   --arrivals RATE --tenants N --pool-policy fifo|fair --duration T
 ///   --list --help
 std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::ostream& err);
 

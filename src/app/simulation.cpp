@@ -85,6 +85,7 @@ Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
       break;
   }
   scheduler_->configure_speculation(config_.speculation);
+  scheduler_->configure_pools(config_.pools);
 
   heartbeats_ = std::make_unique<HeartbeatService>(*cluster_, config_.heartbeat_period);
   heartbeats_->subscribe(
@@ -164,6 +165,58 @@ SimTime Simulation::run(const Application& app) {
   RUPAM_INFO(sim_.now(), scheduler_->name(), " finished '", app.name, "' in ",
              finished_at - started, "s");
   return finished_at - started;
+}
+
+TenantRunReport Simulation::run(const SubmissionStream& stream) {
+  if (stream.empty()) return {};
+  for (const TimedSubmission& s : stream.items()) s.app.validate();
+  JctAccountant jct;
+  dag_->set_job_observer([&jct](const DagScheduler::JobStats& s) {
+    jct.note_finished(s.job, s.app, s.pool, s.name, s.submitted, s.finished);
+  });
+  scheduler_->set_launch_observer(
+      [&jct](JobId job, SimTime now) { jct.note_launch(job, now); });
+
+  SimTime started = sim_.now();
+  SimTime finished_at = started;
+  std::size_t remaining = stream.size();
+  heartbeats_->start();
+  if (sampler_) sampler_->start();
+  for (const TimedSubmission& s : stream.items()) {
+    sim_.schedule_at(started + s.at, [this, &s, &remaining, &finished_at] {
+      dag_->submit_app(s.app, [this, &remaining, &finished_at] {
+        --remaining;
+        finished_at = sim_.now();
+      });
+    });
+  }
+  std::size_t steps = 0;
+  while (remaining > 0) {
+    if (!sim_.step()) {
+      throw std::runtime_error(
+          "Simulation: event queue drained before all applications finished");
+    }
+    if (sim_.now() - started > config_.max_sim_time) {
+      throw std::runtime_error("Simulation: exceeded max_sim_time — likely unschedulable");
+    }
+    if (++steps % 10000000 == 0) {
+      RUPAM_WARN(sim_.now(), "simulation still running after ", steps, " events (t=",
+                 sim_.now(), "s) — possible scheduling livelock");
+    }
+  }
+  heartbeats_->stop();
+  if (sampler_) sampler_->stop();
+  dag_->set_job_observer(nullptr);
+  scheduler_->set_launch_observer(nullptr);
+
+  TenantRunReport report;
+  report.makespan = finished_at - started;
+  report.jobs = jct.jobs();
+  report.overall = jct.overall();
+  report.per_pool = jct.by_pool();
+  RUPAM_INFO(sim_.now(), scheduler_->name(), " finished ", stream.size(), " applications (",
+             report.jobs.size(), " jobs) in ", report.makespan, "s");
+  return report;
 }
 
 std::size_t Simulation::total_oom_kills() const {

@@ -13,11 +13,13 @@
 #include <optional>
 #include <vector>
 
+#include "app/arrivals.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/heartbeat.hpp"
 #include "dag/dag_scheduler.hpp"
 #include "exec/executor.hpp"
 #include "faults/fault_injector.hpp"
+#include "metrics/jct.hpp"
 #include "metrics/utilization_sampler.hpp"
 #include "sched/baselines/capability_scheduler.hpp"
 #include "sched/baselines/fifo_scheduler.hpp"
@@ -60,6 +62,9 @@ struct SimulationConfig {
   SpeculationConfig speculation;
   RupamConfig rupam;
   SparkScheduler::Config spark;
+  /// Cross-job scheduling policy and pool definitions (FIFO by default —
+  /// identical to single-tenant behaviour).
+  PoolConfig pools;
 
   bool sample_utilization = false;
   SimTime sample_period = 1.0;
@@ -94,6 +99,12 @@ class Simulation {
   /// Run `app` to completion; returns the makespan in simulated seconds.
   /// Throws std::runtime_error if max_sim_time is exceeded.
   SimTime run(const Application& app);
+
+  /// Multi-tenant entry point: run every timed submission in `stream` to
+  /// completion (applications overlap according to their arrival times and
+  /// the configured pool policy) and return per-job JCT accounting. The
+  /// stream must outlive the call.
+  TenantRunReport run(const SubmissionStream& stream);
 
   Simulator& sim() { return sim_; }
   Cluster& cluster() { return *cluster_; }

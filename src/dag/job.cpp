@@ -26,6 +26,42 @@ std::size_t Application::total_tasks() const {
   return n;
 }
 
+std::size_t Application::total_stages() const {
+  std::size_t n = 0;
+  for (const auto& j : jobs) n += j.stages.size();
+  return n;
+}
+
+void assign_pool(Application& app, const std::string& pool) {
+  app.pool = pool;
+  for (auto& job : app.jobs) {
+    for (auto& stage : job.stages) stage.tasks.pool = pool;
+  }
+}
+
+void offset_ids(Application& app, JobId job_base, StageId stage_base, TaskId task_base,
+                const std::string& cache_tag) {
+  auto retag = [&cache_tag](std::string& key) {
+    if (!cache_tag.empty() && !key.empty()) key = cache_tag + key;
+  };
+  for (auto& job : app.jobs) {
+    job.id += job_base;
+    for (auto& stage : job.stages) {
+      stage.id += stage_base;
+      for (StageId& parent : stage.parents) parent += stage_base;
+      stage.tasks.job = job.id;
+      stage.tasks.stage = stage.id;
+      for (auto& task : stage.tasks.tasks) {
+        task.id += task_base;
+        task.job = job.id;
+        task.stage = stage.id;
+        retag(task.input_cache_key);
+        retag(task.cache_output_key);
+      }
+    }
+  }
+}
+
 void Application::validate() const {
   std::set<StageId> stage_ids;
   std::set<TaskId> task_ids;

@@ -20,10 +20,26 @@ struct Job {
 
 struct Application {
   std::string name;
+  /// Fair-scheduler pool (tenant) this application's jobs are billed to;
+  /// empty = the default pool. Use assign_pool to keep the per-taskset
+  /// pool tags consistent with this field.
+  std::string pool;
   std::vector<Job> jobs;
 
   std::size_t total_tasks() const;
+  std::size_t total_stages() const;
   void validate() const;
 };
+
+/// Stamp `pool` on the application and every taskset inside it.
+void assign_pool(Application& app, const std::string& pool);
+
+/// Shift every job/stage/task id by the given bases and, when `cache_tag`
+/// is non-empty, prefix all RDD cache keys with it. The workload driver
+/// uses this to keep concurrently running applications in disjoint id and
+/// cache-key spaces (stage ids key the task scheduler; cache keys name
+/// blocks in the executors' shared caches).
+void offset_ids(Application& app, JobId job_base, StageId stage_base, TaskId task_base,
+                const std::string& cache_tag = "");
 
 }  // namespace rupam

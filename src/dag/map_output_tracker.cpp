@@ -2,12 +2,13 @@
 
 namespace rupam {
 
-void MapOutputTracker::record(StageId stage, int partition, NodeId node) {
-  outputs_[stage][partition] = node;
+void MapOutputTracker::record(JobId job, StageId stage, int partition, NodeId node) {
+  outputs_[{job, stage}][partition] = node;
 }
 
-std::map<StageId, std::vector<int>> MapOutputTracker::invalidate_node(NodeId node) {
-  std::map<StageId, std::vector<int>> lost;
+std::map<MapOutputTracker::ShuffleKey, std::vector<int>> MapOutputTracker::invalidate_node(
+    NodeId node) {
+  std::map<ShuffleKey, std::vector<int>> lost;
   for (auto stage_it = outputs_.begin(); stage_it != outputs_.end();) {
     auto& parts = stage_it->second;
     for (auto it = parts.begin(); it != parts.end();) {
@@ -23,16 +24,18 @@ std::map<StageId, std::vector<int>> MapOutputTracker::invalidate_node(NodeId nod
   return lost;
 }
 
-const NodeId* MapOutputTracker::location(StageId stage, int partition) const {
-  auto stage_it = outputs_.find(stage);
+const NodeId* MapOutputTracker::location(JobId job, StageId stage, int partition) const {
+  auto stage_it = outputs_.find({job, stage});
   if (stage_it == outputs_.end()) return nullptr;
   auto it = stage_it->second.find(partition);
   return it == stage_it->second.end() ? nullptr : &it->second;
 }
 
+void MapOutputTracker::forget(JobId job, StageId stage) { outputs_.erase({job, stage}); }
+
 std::size_t MapOutputTracker::tracked() const {
   std::size_t n = 0;
-  for (const auto& [stage, parts] : outputs_) n += parts.size();
+  for (const auto& [key, parts] : outputs_) n += parts.size();
   return n;
 }
 

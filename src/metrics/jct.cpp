@@ -1,0 +1,58 @@
+#include "metrics/jct.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace rupam {
+
+JctSummary summarize_jct(const std::vector<JobCompletion>& jobs) {
+  JctSummary s;
+  s.count = jobs.size();
+  if (jobs.empty()) return s;
+  std::vector<double> jcts;
+  jcts.reserve(jobs.size());
+  double queueing = 0.0;
+  for (const JobCompletion& j : jobs) {
+    jcts.push_back(j.jct());
+    queueing += j.queueing_delay();
+  }
+  s.mean = mean_of(jcts);
+  s.max = *std::max_element(jcts.begin(), jcts.end());
+  s.p50 = percentile(jcts, 50.0);
+  s.p95 = percentile(jcts, 95.0);
+  s.p99 = percentile(jcts, 99.0);
+  s.mean_queueing = queueing / static_cast<double>(jobs.size());
+  return s;
+}
+
+void JctAccountant::note_launch(JobId job, SimTime now) {
+  first_launch_.emplace(job, now);  // first launch only
+}
+
+void JctAccountant::note_finished(JobId job, std::string app, std::string pool,
+                                  std::string name, SimTime submitted, SimTime finished) {
+  JobCompletion jc;
+  jc.job = job;
+  jc.app = std::move(app);
+  jc.pool = std::move(pool);
+  jc.name = std::move(name);
+  jc.submitted = submitted;
+  jc.finished = finished;
+  auto it = first_launch_.find(job);
+  if (it != first_launch_.end()) {
+    jc.first_launch = it->second;
+    first_launch_.erase(it);
+  }
+  jobs_.push_back(std::move(jc));
+}
+
+std::map<std::string, JctSummary> JctAccountant::by_pool() const {
+  std::map<std::string, std::vector<JobCompletion>> grouped;
+  for (const JobCompletion& j : jobs_) grouped[j.pool].push_back(j);
+  std::map<std::string, JctSummary> out;
+  for (const auto& [pool, jobs] : grouped) out[pool] = summarize_jct(jobs);
+  return out;
+}
+
+}  // namespace rupam

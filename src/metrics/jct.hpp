@@ -1,0 +1,73 @@
+// Per-job completion-time (JCT) accounting for multi-tenant runs.
+//
+// The DagScheduler reports each finished job's lifecycle (submit → finish)
+// and the task scheduler reports first task launches; the accountant joins
+// the two into JobCompletion records and summarizes them — mean/p50/p95/p99
+// JCT plus mean queueing delay (submission → first launch), overall and per
+// fair-scheduler pool.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rupam {
+
+/// Lifecycle of one completed job.
+struct JobCompletion {
+  JobId job = -1;
+  std::string app;   // owning application's name
+  std::string pool;  // fair-scheduler pool ("" = default)
+  std::string name;  // job name
+  SimTime submitted = 0.0;
+  SimTime first_launch = -1.0;  // < 0: no task launch was observed
+  SimTime finished = 0.0;
+
+  SimTime jct() const { return finished - submitted; }
+  SimTime queueing_delay() const {
+    return first_launch >= submitted ? first_launch - submitted : 0.0;
+  }
+};
+
+struct JctSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean_queueing = 0.0;
+};
+
+JctSummary summarize_jct(const std::vector<JobCompletion>& jobs);
+
+/// Joins the scheduler's launch stream with the DAG scheduler's finished-job
+/// stream. Wired up automatically by Simulation::run(SubmissionStream).
+class JctAccountant {
+ public:
+  /// First call per job wins (the scheduler reports every launch).
+  void note_launch(JobId job, SimTime now);
+  void note_finished(JobId job, std::string app, std::string pool, std::string name,
+                     SimTime submitted, SimTime finished);
+
+  const std::vector<JobCompletion>& jobs() const { return jobs_; }
+  JctSummary overall() const { return summarize_jct(jobs_); }
+  std::map<std::string, JctSummary> by_pool() const;
+
+ private:
+  std::map<JobId, SimTime> first_launch_;
+  std::vector<JobCompletion> jobs_;
+};
+
+/// Result of one multi-tenant run (Simulation::run over a stream).
+struct TenantRunReport {
+  SimTime makespan = 0.0;  // first submission → last application finish
+  std::vector<JobCompletion> jobs;
+  JctSummary overall;
+  std::map<std::string, JctSummary> per_pool;
+};
+
+}  // namespace rupam

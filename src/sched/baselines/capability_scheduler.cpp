@@ -60,7 +60,8 @@ void CapabilityScheduler::try_dispatch() {
   bool progressed = true;
   while (progressed) {
     progressed = false;
-    for (auto& [stage_id, stage] : stages_) {
+    for (StageState* sp : schedulable_stages()) {
+      StageState& stage = *sp;
       ResourceKind kind = stage_bottleneck(stage.set.stage_name);
       // One placement per round: the best node with a free slot takes the
       // next pending task of this stage — locality is ignored entirely

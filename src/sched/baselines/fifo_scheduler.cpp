@@ -7,11 +7,13 @@ void FifoScheduler::try_dispatch() {
   bool progressed = true;
   while (progressed) {
     progressed = false;
+    std::vector<StageState*> ordered = schedulable_stages();
     for (std::size_t i = 0; i < ids.size(); ++i) {
       NodeId node = ids[(i + rotation_) % ids.size()];
       Executor* exec = executor(node);
       if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
-      for (auto& [stage_id, stage] : stages_) {
+      for (StageState* sp : ordered) {
+        StageState& stage = *sp;
         TaskState* next = nullptr;
         for (auto& task : stage.tasks) {
           if (launchable(task)) {
@@ -24,7 +26,7 @@ void FifoScheduler::try_dispatch() {
                         /*speculative=*/false)) {
           progressed = true;
         }
-        break;  // FIFO: earliest stage only
+        break;  // earliest taskset in policy order only
       }
     }
     ++rotation_;

@@ -1,0 +1,49 @@
+#include "sched/pool.hpp"
+
+#include <algorithm>
+
+namespace rupam {
+
+std::string_view to_string(PoolPolicy policy) {
+  switch (policy) {
+    case PoolPolicy::kFifo: return "FIFO";
+    case PoolPolicy::kFair: return "FAIR";
+  }
+  return "?";
+}
+
+const PoolSpec& PoolConfig::spec(const std::string& name) const {
+  static const PoolSpec kDefault{};
+  auto it = pools.find(name);
+  return it == pools.end() ? kDefault : it->second;
+}
+
+bool fair_less(const PoolSnapshot& a, const PoolSnapshot& b) {
+  bool a_needy = a.running < a.min_share;
+  bool b_needy = b.running < b.min_share;
+  double a_min_ratio =
+      static_cast<double>(a.running) / static_cast<double>(std::max(a.min_share, 1));
+  double b_min_ratio =
+      static_cast<double>(b.running) / static_cast<double>(std::max(b.min_share, 1));
+  double a_weight_ratio = static_cast<double>(a.running) / std::max(a.weight, 1e-9);
+  double b_weight_ratio = static_cast<double>(b.running) / std::max(b.weight, 1e-9);
+  if (a_needy && !b_needy) return true;
+  if (!a_needy && b_needy) return false;
+  if (a_needy && b_needy) {
+    if (a_min_ratio != b_min_ratio) return a_min_ratio < b_min_ratio;
+  } else if (a_weight_ratio != b_weight_ratio) {
+    return a_weight_ratio < b_weight_ratio;
+  }
+  return a.name < b.name;
+}
+
+std::vector<std::string> fair_order(std::vector<PoolSnapshot> pools) {
+  std::sort(pools.begin(), pools.end(),
+            [](const PoolSnapshot& a, const PoolSnapshot& b) { return fair_less(a, b); });
+  std::vector<std::string> out;
+  out.reserve(pools.size());
+  for (const auto& p : pools) out.push_back(p.name);
+  return out;
+}
+
+}  // namespace rupam

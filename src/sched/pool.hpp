@@ -1,0 +1,62 @@
+// Cross-job scheduling pools: Spark's FIFO and FAIR TaskSet-ordering
+// policies (spark.scheduler.mode, fairscheduler.xml pools).
+//
+// A pool groups the TaskSets of one tenant (or job class). Under FIFO the
+// scheduler drains tasksets in (job, stage) submission order; under FAIR
+// each pool is ranked every dispatch round by Spark's fair-sharing rule
+// over its currently running tasks (minShare first, then min-share ratio,
+// then running/weight), and tasksets inside a pool stay FIFO. The ranking
+// itself is pure logic so the unit tests can exercise weights, minShare
+// and tie-breaks without a cluster.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rupam {
+
+enum class PoolPolicy {
+  kFifo = 0,  // Spark's default: strict (job, stage) submission order
+  kFair,      // weighted fair sharing across pools, FIFO within a pool
+};
+
+std::string_view to_string(PoolPolicy policy);
+
+/// One pool's fair-share parameters (fairscheduler.xml <pool> entry).
+struct PoolSpec {
+  double weight = 1.0;
+  int min_share = 0;  // cores the pool is owed before fair sharing kicks in
+};
+
+/// Cross-job scheduling configuration handed to SchedulerBase. Pools not
+/// present in `pools` use the default PoolSpec (weight 1, no min share) —
+/// exactly how Spark treats pools that fairscheduler.xml does not name.
+struct PoolConfig {
+  PoolPolicy policy = PoolPolicy::kFifo;
+  std::map<std::string, PoolSpec> pools;
+
+  const PoolSpec& spec(const std::string& name) const;
+};
+
+/// A pool's live state at one dispatch round — the inputs of Spark's
+/// FairSchedulingAlgorithm.comparator.
+struct PoolSnapshot {
+  std::string name;
+  int running = 0;  // tasks of this pool currently occupying cores
+  double weight = 1.0;
+  int min_share = 0;
+};
+
+/// Spark's FairSchedulingAlgorithm: pools below their minShare come first
+/// (ordered by runningTasks/minShare), then the rest by runningTasks/weight;
+/// final tie-break is the pool name, which keeps the order deterministic.
+bool fair_less(const PoolSnapshot& a, const PoolSnapshot& b);
+
+/// Pool names in fair-schedule order (most-starved first).
+std::vector<std::string> fair_order(std::vector<PoolSnapshot> pools);
+
+/// Name under which a taskset with no explicit pool is scheduled.
+inline constexpr const char* kDefaultPool = "default";
+
+}  // namespace rupam

@@ -198,7 +198,25 @@ RupamScheduler::Pick RupamScheduler::select_for(ResourceKind kind, NodeId node) 
   }
   DispatcherPolicy policy{config_.opt_executor_lock, config_.memory_guard,
                           config_.memory_guard_headroom};
-  auto chosen = algorithm2_select(views, node, free_mem, policy);
+  std::optional<std::size_t> chosen;
+  std::map<std::string, std::vector<DispatchTaskView>> by_pool;
+  if (pools_.policy == PoolPolicy::kFair) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      by_pool[pool_of(*rows[i].stage)].push_back(views[i]);
+    }
+  }
+  if (by_pool.size() > 1) {
+    // FAIR: Algorithm 2 runs within one pool at a time, pools tried in
+    // fair-share order, so the neediest pool has first claim on the node.
+    for (const std::string& pool : fair_pool_order()) {
+      auto it = by_pool.find(pool);
+      if (it == by_pool.end()) continue;
+      chosen = algorithm2_select(it->second, node, free_mem, policy);
+      if (chosen) break;
+    }
+  } else {
+    chosen = algorithm2_select(views, node, free_mem, policy);
+  }
   if (!chosen) return {};
   const Row& row = rows[*chosen];
   return Pick{row.stage, row.task, row.race};

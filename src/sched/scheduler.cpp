@@ -71,6 +71,66 @@ bool SchedulerBase::launchable(const TaskState& task) const {
   return task.pending && !task.finished && sim().now() >= task.not_before;
 }
 
+const std::string& SchedulerBase::pool_of(const StageState& stage) {
+  static const std::string kDefault = kDefaultPool;
+  return stage.set.pool.empty() ? kDefault : stage.set.pool;
+}
+
+int SchedulerBase::pool_running_tasks(const std::string& pool) const {
+  int running = 0;
+  for (const auto& [id, stage] : stages_) {
+    if (pool_of(stage) != pool) continue;
+    for (const auto& task : stage.tasks) running += static_cast<int>(task.live.size());
+  }
+  return running;
+}
+
+std::vector<std::string> SchedulerBase::fair_pool_order() const {
+  std::map<std::string, PoolSnapshot> snapshots;
+  for (const auto& [id, stage] : stages_) {
+    const std::string& name = pool_of(stage);
+    PoolSnapshot& snap = snapshots[name];
+    if (snap.name.empty()) {
+      snap.name = name;
+      const PoolSpec& spec = pools_.spec(name);
+      snap.weight = spec.weight;
+      snap.min_share = spec.min_share;
+    }
+    for (const auto& task : stage.tasks) snap.running += static_cast<int>(task.live.size());
+  }
+  std::vector<PoolSnapshot> pools;
+  pools.reserve(snapshots.size());
+  for (auto& [name, snap] : snapshots) pools.push_back(std::move(snap));
+  return fair_order(std::move(pools));
+}
+
+std::vector<SchedulerBase::StageState*> SchedulerBase::schedulable_stages() {
+  std::vector<StageState*> out;
+  out.reserve(stages_.size());
+  for (auto& [id, stage] : stages_) out.push_back(&stage);
+  auto fifo_less = [](const StageState* a, const StageState* b) {
+    if (a->set.job != b->set.job) return a->set.job < b->set.job;
+    return a->set.stage < b->set.stage;
+  };
+  if (pools_.policy == PoolPolicy::kFifo) {
+    // Spark FIFO: job priority (submission order) first, then stage id —
+    // identical to the historical stage-id map order for one application.
+    std::sort(out.begin(), out.end(), fifo_less);
+    return out;
+  }
+  std::vector<std::string> order = fair_pool_order();
+  std::map<std::string, std::size_t> rank;
+  for (std::size_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+  std::sort(out.begin(), out.end(),
+            [&rank, &fifo_less](const StageState* a, const StageState* b) {
+              std::size_t ra = rank.at(pool_of(*a));
+              std::size_t rb = rank.at(pool_of(*b));
+              if (ra != rb) return ra < rb;
+              return fifo_less(a, b);  // FIFO within a pool
+            });
+  return out;
+}
+
 Locality SchedulerBase::locality_for(const TaskSpec& spec, NodeId node) const {
   return locality_of(spec, node, [this](NodeId n, const std::string& key) {
     Executor* e = executor(n);
@@ -264,6 +324,7 @@ bool SchedulerBase::launch_task(StageState& stage, TaskState& task, NodeId node,
   task.live.push_back(Attempt{attempt_id, node, opts.use_gpu, kind, handle});
   trace(speculative ? TraceEventType::kSpeculativeLaunched : TraceEventType::kTaskLaunched,
         stage_id, task.spec.id, attempt_id, node, std::string(to_string(opts.locality)));
+  if (on_task_launch_) on_task_launch_(stage.set.job, sim().now());
   if (!speculative) task.pending = false;
   stage.last_launch = sim().now();
   RUPAM_DEBUG(sim().now(), name(), ": launched task ", task.spec.id, " attempt ", attempt_id,

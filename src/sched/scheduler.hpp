@@ -19,6 +19,7 @@
 #include "cluster/liveness.hpp"
 #include "exec/executor.hpp"
 #include "metrics/event_trace.hpp"
+#include "sched/pool.hpp"
 #include "simcore/simulator.hpp"
 #include "tasks/locality.hpp"
 #include "tasks/task_set.hpp"
@@ -77,6 +78,15 @@ class SchedulerBase {
   }
   void configure_speculation(SpeculationConfig cfg) { speculation_ = cfg; }
   void configure_fault_tolerance(const FaultToleranceConfig& cfg);
+  /// Cross-job scheduling policy (FIFO default, FAIR pools for
+  /// multi-tenant runs). See sched/pool.hpp.
+  void configure_pools(PoolConfig cfg) { pools_ = std::move(cfg); }
+  const PoolConfig& pools() const { return pools_; }
+  /// Observer fired on every task launch with the owning job — the JCT
+  /// accountant derives per-job queueing delay from the first launch.
+  void set_launch_observer(std::function<void(JobId, SimTime)> fn) {
+    on_task_launch_ = std::move(fn);
+  }
   /// Optional structured event trace (not owned; may be null).
   void set_trace(EventTrace* trace) { trace_ = trace; }
 
@@ -100,6 +110,10 @@ class SchedulerBase {
   std::size_t straggler_copies() const { return straggler_copies_; }
   std::size_t relocations() const { return relocations_; }
   std::size_t active_stages() const { return stages_.size(); }
+
+  /// Tasks of `pool` currently occupying slots (live attempts, including
+  /// speculative copies) — the fair-share "running cores" input.
+  int pool_running_tasks(const std::string& pool) const;
 
  protected:
   struct Attempt {
@@ -138,6 +152,19 @@ class SchedulerBase {
 
   /// Subclass hook: launch whatever fits right now.
   virtual void try_dispatch() = 0;
+
+  /// Active stages in cross-job policy order: FIFO = ascending (job,
+  /// stage) submission order; FAIR = pools ranked by weighted fair share
+  /// over running tasks (minShare first), FIFO within a pool. Schedulers
+  /// walk this instead of stages_ so pool policy decides which job's
+  /// taskset is offered resources before per-node placement logic runs.
+  std::vector<StageState*> schedulable_stages();
+
+  /// The pool a stage is billed to ("" → kDefaultPool).
+  static const std::string& pool_of(const StageState& stage);
+
+  /// Pool names in fair-schedule order over the currently active stages.
+  std::vector<std::string> fair_pool_order() const;
   /// Subclass hooks around the task life cycle.
   virtual void stage_submitted(StageState& stage) { (void)stage; }
   virtual void task_succeeded(StageState& stage, TaskState& task, const TaskMetrics& metrics) {
@@ -188,6 +215,7 @@ class SchedulerBase {
   std::map<StageId, StageState> stages_;
   SpeculationConfig speculation_;
   FaultToleranceConfig fault_tolerance_;
+  PoolConfig pools_;
 
  private:
   void handle_success(StageId stage_id, std::size_t task_index, AttemptId attempt,
@@ -201,6 +229,7 @@ class SchedulerBase {
              std::string detail, SimTime duration = 0.0);
 
   PartitionSuccessFn on_partition_success_;
+  std::function<void(JobId, SimTime)> on_task_launch_;
   EventTrace* trace_ = nullptr;
   std::vector<TaskMetrics> completed_;
   std::vector<TaskMetrics> failed_;

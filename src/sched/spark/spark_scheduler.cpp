@@ -24,9 +24,11 @@ Locality SparkScheduler::allowed_level(StageState& stage) const {
   return levels[idx];
 }
 
-SparkScheduler::Candidate SparkScheduler::pick_task_for(NodeId node) {
+SparkScheduler::Candidate SparkScheduler::pick_task_for(
+    NodeId node, const std::vector<StageState*>& ordered) {
   Candidate best;
-  for (auto& [stage_id, stage] : stages_) {  // map order == submission order
+  for (StageState* sp : ordered) {  // cross-job pool-policy order
+    StageState& stage = *sp;
     Locality allowed = allowed_level(stage);
     Candidate stage_best;
     for (auto& task : stage.tasks) {
@@ -39,7 +41,7 @@ SparkScheduler::Candidate SparkScheduler::pick_task_for(NodeId node) {
       }
       if (stage_best.locality == Locality::kProcessLocal) break;
     }
-    if (stage_best.task != nullptr) return stage_best;  // FIFO across stages
+    if (stage_best.task != nullptr) return stage_best;  // first taskset in policy order
   }
   return best;
 }
@@ -49,13 +51,16 @@ void SparkScheduler::try_dispatch() {
   bool progressed = true;
   while (progressed) {
     progressed = false;
+    // Re-rank tasksets each offer round: under FAIR the launches of the
+    // previous round shift every pool's share.
+    std::vector<StageState*> ordered = schedulable_stages();
     for (std::size_t i = 0; i < ids.size(); ++i) {
       // Rotate the starting node between rounds: Spark shuffles offers so
       // one node does not soak up every wave.
       NodeId node = ids[(i + offer_rotation_) % ids.size()];
       Executor* exec = executor(node);
       if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
-      Candidate c = pick_task_for(node);
+      Candidate c = pick_task_for(node, ordered);
       if (c.task == nullptr) continue;
       // Spark tries the GPU path whenever the application's library would
       // (it has no device awareness; contention falls back to CPU inside

@@ -37,9 +37,9 @@ class SparkScheduler : public SchedulerBase {
     Locality locality = Locality::kAny;
   };
 
-  /// Best pending task for `node` across active stages (FIFO stage order),
-  /// honoring each stage's currently allowed locality level.
-  Candidate pick_task_for(NodeId node);
+  /// Best pending task for `node` across active stages (cross-job pool
+  /// policy order), honoring each stage's currently allowed locality level.
+  Candidate pick_task_for(NodeId node, const std::vector<StageState*>& ordered);
   Locality allowed_level(StageState& stage) const;
   bool launch_speculative_copies();
 

@@ -13,6 +13,10 @@ struct TaskSet {
   JobId job = 0;
   StageId stage = 0;
   std::string stage_name;
+  /// Fair-scheduler pool this taskset is billed to (empty = the default
+  /// pool). Set per tenant by the workload driver; the cross-job policy in
+  /// SchedulerBase orders tasksets by pool (see sched/pool.hpp).
+  std::string pool;
   bool is_shuffle_map = true;
   std::vector<TaskSpec> tasks;
 

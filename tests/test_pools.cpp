@@ -1,0 +1,75 @@
+// Unit tests for the FAIR cross-job scheduling comparator (Spark's
+// FairSchedulingAlgorithm): minShare-starved pools first, then by
+// minShare ratio, then by runningTasks/weight, name as the tie-break.
+#include <gtest/gtest.h>
+
+#include "sched/pool.hpp"
+
+namespace rupam {
+namespace {
+
+PoolSnapshot snap(const std::string& name, int running, double weight = 1.0,
+                  int min_share = 0) {
+  PoolSnapshot s;
+  s.name = name;
+  s.running = running;
+  s.weight = weight;
+  s.min_share = min_share;
+  return s;
+}
+
+TEST(FairLess, FewerRunningTasksFirst) {
+  EXPECT_TRUE(fair_less(snap("a", 1), snap("b", 5)));
+  EXPECT_FALSE(fair_less(snap("a", 5), snap("b", 1)));
+}
+
+TEST(FairLess, WeightScalesShare) {
+  // 6 running at weight 3 (share 2) beats 4 running at weight 1 (share 4).
+  EXPECT_TRUE(fair_less(snap("heavy", 6, 3.0), snap("light", 4, 1.0)));
+  EXPECT_FALSE(fair_less(snap("light", 4, 1.0), snap("heavy", 6, 3.0)));
+}
+
+TEST(FairLess, MinShareStarvedPoolWinsRegardlessOfWeight) {
+  // "b" is below its minShare; "a" is not — "b" schedules first even with
+  // far fewer running tasks in "a".
+  EXPECT_TRUE(fair_less(snap("b", 2, 1.0, 4), snap("a", 0, 100.0)));
+  EXPECT_FALSE(fair_less(snap("a", 0, 100.0), snap("b", 2, 1.0, 4)));
+}
+
+TEST(FairLess, BothStarvedComparedByMinShareRatio) {
+  // 1/10 running/minShare beats 3/4.
+  EXPECT_TRUE(fair_less(snap("x", 1, 1.0, 10), snap("y", 3, 1.0, 4)));
+  EXPECT_FALSE(fair_less(snap("y", 3, 1.0, 4), snap("x", 1, 1.0, 10)));
+}
+
+TEST(FairLess, NameBreaksExactTies) {
+  EXPECT_TRUE(fair_less(snap("a", 2), snap("b", 2)));
+  EXPECT_FALSE(fair_less(snap("b", 2), snap("a", 2)));
+}
+
+TEST(FairOrder, RanksPoolsDeterministically) {
+  std::vector<PoolSnapshot> pools = {
+      snap("busy", 8),
+      snap("starved", 0, 1.0, 2),  // below minShare: always first
+      snap("idle", 0),
+      snap("weighted", 6, 4.0),  // share 1.5
+  };
+  std::vector<std::string> order = fair_order(pools);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "starved");
+  EXPECT_EQ(order[1], "idle");      // share 0
+  EXPECT_EQ(order[2], "weighted");  // share 1.5
+  EXPECT_EQ(order[3], "busy");      // share 8
+}
+
+TEST(PoolConfig, SpecFallsBackToDefaults) {
+  PoolConfig config;
+  config.pools["vip"] = PoolSpec{/*weight=*/3.0, /*min_share=*/4};
+  EXPECT_DOUBLE_EQ(config.spec("vip").weight, 3.0);
+  EXPECT_EQ(config.spec("vip").min_share, 4);
+  EXPECT_DOUBLE_EQ(config.spec("unknown").weight, 1.0);
+  EXPECT_EQ(config.spec("unknown").min_share, 0);
+}
+
+}  // namespace
+}  // namespace rupam
