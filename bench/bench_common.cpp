@@ -1,7 +1,8 @@
 #include "bench_common.hpp"
 
 #include <fstream>
-#include <sstream>
+
+#include "common/json_writer.hpp"
 
 namespace rupam::bench {
 
@@ -33,31 +34,14 @@ std::string gb(double bytes) { return format_fixed(bytes / kGiB, 2); }
 
 std::string pct(double fraction) { return format_fixed(fraction * 100.0, 1); }
 
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-}  // namespace
-
 JsonReport::JsonReport(std::string name) : path_("BENCH_" + std::move(name) + ".json") {}
 
 void JsonReport::add(const std::string& key, double value) {
-  std::ostringstream os;
-  os.precision(6);
-  os << value;
-  entries_.emplace_back(key, os.str());
+  entries_.emplace_back(key, json_number(value));
 }
 
 void JsonReport::add(const std::string& key, const std::string& value) {
-  entries_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  entries_.emplace_back(key, json_quote(value));
 }
 
 void JsonReport::add_comparison(const std::string& prefix, const Comparison& c) {
@@ -74,7 +58,7 @@ bool JsonReport::write() const {
   }
   f << "{\n";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    f << "  \"" << json_escape(entries_[i].first) << "\": " << entries_[i].second
+    f << "  " << json_quote(entries_[i].first) << ": " << entries_[i].second
       << (i + 1 < entries_.size() ? "," : "") << "\n";
   }
   f << "}\n";

@@ -21,6 +21,13 @@ std::string cli_usage() {
          "  --sample               sample per-node utilization\n"
          "  --trace-csv PATH       dump the scheduling event trace as CSV\n"
          "  --trace-chrome PATH    dump a chrome://tracing JSON timeline\n"
+         "  --trace-perfetto PATH  dump per-attempt task-phase spans (queued, shuffle\n"
+         "                         read, compute, GC, spill, write) as a Perfetto trace\n"
+         "  --metrics-out PATH     dump the metrics registry; '.json' writes JSON,\n"
+         "                         anything else Prometheus text exposition\n"
+         "  --explain PATH         record one audit row per scheduling decision\n"
+         "                         (chosen node, reason, candidates); '.json' writes\n"
+         "                         JSON, anything else CSV\n"
          "  --faults SPEC          inject faults, e.g. 'crash@60:node=3:down=40;\n"
          "                         slow@30:node=0:res=cpu:factor=0.3:for=60'\n"
          "  --chaos SEED           inject a seeded random fault plan\n"
@@ -94,6 +101,15 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::o
     } else if (a == "--trace-chrome") {
       if (!need_value(i)) return std::nullopt;
       opts.trace_chrome = args[++i];
+    } else if (a == "--trace-perfetto") {
+      if (!need_value(i)) return std::nullopt;
+      opts.trace_perfetto = args[++i];
+    } else if (a == "--metrics-out") {
+      if (!need_value(i)) return std::nullopt;
+      opts.metrics_out = args[++i];
+    } else if (a == "--explain") {
+      if (!need_value(i)) return std::nullopt;
+      opts.explain_out = args[++i];
     } else if (a == "--faults") {
       if (!need_value(i)) return std::nullopt;
       opts.faults = args[++i];
@@ -152,6 +168,56 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::o
 
 namespace {
 
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void apply_observability_flags(SimulationConfig& cfg, const CliOptions& options) {
+  cfg.enable_metrics = !options.metrics_out.empty();
+  cfg.enable_audit = !options.explain_out.empty();
+  cfg.enable_spans = !options.trace_perfetto.empty();
+}
+
+/// Write --metrics-out / --explain / --trace-perfetto outputs for a finished
+/// run. Returns 0, or 2 if any path could not be opened.
+int write_observability(Simulation& sim, const CliOptions& options, std::ostream& err) {
+  auto write_to = [&err](const std::string& path, auto&& writer) -> bool {
+    std::ofstream f(path);
+    if (!f) {
+      err << "cannot open " << path << "\n";
+      return false;
+    }
+    writer(f);
+    return true;
+  };
+  if (!options.metrics_out.empty() && sim.metrics() != nullptr) {
+    bool ok = write_to(options.metrics_out, [&](std::ostream& f) {
+      if (has_suffix(options.metrics_out, ".json")) {
+        sim.metrics()->write_json(f);
+      } else {
+        sim.metrics()->write_prometheus(f);
+      }
+    });
+    if (!ok) return 2;
+  }
+  if (!options.explain_out.empty() && sim.audit() != nullptr) {
+    bool ok = write_to(options.explain_out, [&](std::ostream& f) {
+      if (has_suffix(options.explain_out, ".json")) {
+        sim.audit()->write_json(f);
+      } else {
+        sim.audit()->write_csv(f);
+      }
+    });
+    if (!ok) return 2;
+  }
+  if (!options.trace_perfetto.empty() && sim.spans() != nullptr) {
+    bool ok = write_to(options.trace_perfetto,
+                       [&](std::ostream& f) { sim.spans()->write_perfetto(f); });
+    if (!ok) return 2;
+  }
+  return 0;
+}
+
 int run_multi_tenant(const CliOptions& options, std::ostream& out, std::ostream& err) {
   SimulationConfig cfg;
   cfg.scheduler = options.scheduler;
@@ -159,6 +225,7 @@ int run_multi_tenant(const CliOptions& options, std::ostream& out, std::ostream&
   cfg.pools.policy = options.pool_policy;
   cfg.sample_utilization = options.sample_utilization;
   cfg.enable_trace = !options.trace_csv.empty() || !options.trace_chrome.empty();
+  apply_observability_flags(cfg, options);
   if (!options.faults.empty()) {
     try {
       cfg.faults = parse_fault_spec(options.faults);
@@ -233,7 +300,7 @@ int run_multi_tenant(const CliOptions& options, std::ostream& out, std::ostream&
       sim.trace()->write_chrome_tracing(f);
     }
   }
-  return 0;
+  return write_observability(sim, options, err);
 }
 
 }  // namespace
@@ -282,6 +349,7 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     cfg.seed = options.seed + static_cast<std::uint64_t>(rep);
     cfg.sample_utilization = options.sample_utilization;
     cfg.enable_trace = !options.trace_csv.empty() || !options.trace_chrome.empty();
+    apply_observability_flags(cfg, options);
     if (!options.faults.empty()) {
       try {
         cfg.faults = parse_fault_spec(options.faults);
@@ -317,24 +385,28 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       cpu += s->avg_cpu_util();
       mem += s->avg_memory_used();
     }
-    // Traces come from the last repetition.
-    if (rep == options.repetitions - 1 && sim.trace() != nullptr) {
-      if (!options.trace_csv.empty()) {
-        std::ofstream f(options.trace_csv);
-        if (!f) {
-          err << "cannot open " << options.trace_csv << "\n";
-          return 2;
+    // Traces and observability exports come from the last repetition.
+    if (rep == options.repetitions - 1) {
+      if (sim.trace() != nullptr) {
+        if (!options.trace_csv.empty()) {
+          std::ofstream f(options.trace_csv);
+          if (!f) {
+            err << "cannot open " << options.trace_csv << "\n";
+            return 2;
+          }
+          sim.trace()->write_csv(f);
         }
-        sim.trace()->write_csv(f);
-      }
-      if (!options.trace_chrome.empty()) {
-        std::ofstream f(options.trace_chrome);
-        if (!f) {
-          err << "cannot open " << options.trace_chrome << "\n";
-          return 2;
+        if (!options.trace_chrome.empty()) {
+          std::ofstream f(options.trace_chrome);
+          if (!f) {
+            err << "cannot open " << options.trace_chrome << "\n";
+            return 2;
+          }
+          sim.trace()->write_chrome_tracing(f);
         }
-        sim.trace()->write_chrome_tracing(f);
       }
+      int rc = write_observability(sim, options, err);
+      if (rc != 0) return rc;
     }
   }
 

@@ -22,6 +22,12 @@ struct CliOptions {
   bool sample_utilization = false;
   std::string trace_csv;     // write the event trace here if non-empty
   std::string trace_chrome;  // chrome://tracing JSON path
+  /// Perfetto task-phase span trace path (enables span recording).
+  std::string trace_perfetto;
+  /// Metrics exposition path: ".json" → JSON, else Prometheus text.
+  std::string metrics_out;
+  /// Dispatch-decision audit path: ".json" → JSON, else CSV.
+  std::string explain_out;
   std::string faults;        // fault spec (see faults/fault_plan.hpp)
   std::uint64_t chaos_seed = 0;  // non-zero: add a seeded chaos plan
   /// Multi-tenant mode (> 0): open-loop Poisson application arrivals at
@@ -38,7 +44,8 @@ struct CliOptions {
 /// invalid input. Recognized flags:
 ///   --workload NAME --scheduler spark|rupam|stageaware|fifo
 ///   --iterations N --repetitions N --seed N --sample
-///   --trace-csv PATH --trace-chrome PATH --faults SPEC --chaos SEED
+///   --trace-csv PATH --trace-chrome PATH --trace-perfetto PATH
+///   --metrics-out PATH --explain PATH --faults SPEC --chaos SEED
 ///   --arrivals RATE --tenants N --pool-policy fifo|fair --duration T
 ///   --list --help
 std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::ostream& err);

@@ -1,5 +1,6 @@
 #include "app/simulation.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "cluster/presets.hpp"
@@ -88,8 +89,10 @@ Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
   scheduler_->configure_pools(config_.pools);
 
   heartbeats_ = std::make_unique<HeartbeatService>(*cluster_, config_.heartbeat_period);
-  heartbeats_->subscribe(
-      [this](const NodeMetrics& metrics) { scheduler_->on_heartbeat(metrics); });
+  heartbeats_->subscribe([this](const NodeMetrics& metrics) {
+    OverheadProfiler::Scope scope(profiler_, ProfileSection::kHeartbeat);
+    scheduler_->on_heartbeat(metrics);
+  });
 
   dag_ = std::make_unique<DagScheduler>(
       sim_, [this](const TaskSet& set) { scheduler_->submit(set); });
@@ -105,6 +108,19 @@ Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
   if (config_.enable_trace) {
     trace_ = std::make_unique<EventTrace>();
     scheduler_->set_trace(trace_.get());
+  }
+  if (config_.enable_metrics) {
+    metrics_ = std::make_unique<MetricsRegistry>();
+    scheduler_->set_metrics(metrics_.get());
+    dag_->set_metrics(metrics_.get());
+  }
+  if (config_.enable_audit) {
+    audit_ = std::make_unique<DecisionAudit>();
+    scheduler_->set_audit(audit_.get());
+  }
+  if (config_.enable_spans) {
+    spans_ = std::make_unique<SpanTrace>();
+    for (auto& e : executors_) e->set_span_trace(spans_.get());
   }
 
   FaultPlan plan = config_.faults;
@@ -127,6 +143,7 @@ Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
     fenv.dag = dag_.get();
     fenv.trace = trace_.get();
     injector_ = std::make_unique<FaultInjector>(std::move(fenv), std::move(plan));
+    injector_->set_metrics(metrics_.get());
     injector_->arm();
   }
 }
@@ -138,6 +155,7 @@ Simulation::~Simulation() {
 
 SimTime Simulation::run(const Application& app) {
   app.validate();
+  register_stage_parents(app);
   SimTime started = sim_.now();
   bool done = false;
   SimTime finished_at = 0.0;
@@ -162,6 +180,7 @@ SimTime Simulation::run(const Application& app) {
   }
   heartbeats_->stop();
   if (sampler_) sampler_->stop();
+  snapshot_gauges();
   RUPAM_INFO(sim_.now(), scheduler_->name(), " finished '", app.name, "' in ",
              finished_at - started, "s");
   return finished_at - started;
@@ -169,7 +188,10 @@ SimTime Simulation::run(const Application& app) {
 
 TenantRunReport Simulation::run(const SubmissionStream& stream) {
   if (stream.empty()) return {};
-  for (const TimedSubmission& s : stream.items()) s.app.validate();
+  for (const TimedSubmission& s : stream.items()) {
+    s.app.validate();
+    register_stage_parents(s.app);
+  }
   JctAccountant jct;
   dag_->set_job_observer([&jct](const DagScheduler::JobStats& s) {
     jct.note_finished(s.job, s.app, s.pool, s.name, s.submitted, s.finished);
@@ -206,6 +228,7 @@ TenantRunReport Simulation::run(const SubmissionStream& stream) {
   }
   heartbeats_->stop();
   if (sampler_) sampler_->stop();
+  snapshot_gauges();
   dag_->set_job_observer(nullptr);
   scheduler_->set_launch_observer(nullptr);
 
@@ -217,6 +240,41 @@ TenantRunReport Simulation::run(const SubmissionStream& stream) {
   RUPAM_INFO(sim_.now(), scheduler_->name(), " finished ", stream.size(), " applications (",
              report.jobs.size(), " jobs) in ", report.makespan, "s");
   return report;
+}
+
+void Simulation::register_stage_parents(const Application& app) {
+  if (!spans_) return;
+  for (const auto& job : app.jobs) {
+    for (const auto& stage : job.stages) {
+      if (!stage.parents.empty()) spans_->set_stage_parents(stage.id, stage.parents);
+    }
+  }
+}
+
+void Simulation::snapshot_gauges() {
+  if (!metrics_) return;
+  // busy_seconds() integrates from simulator start, so the busy fraction is
+  // taken over total simulated time — valid across repeated run() calls.
+  SimTime elapsed = sim_.now();
+  for (NodeId id : cluster_->node_ids()) {
+    Node& node = cluster_->node(id);
+    std::string label = std::to_string(id);
+    auto busy = [&](const char* resource, FairShareResource& r) {
+      double f = elapsed > 0.0 ? std::min(1.0, r.busy_seconds() / elapsed) : 0.0;
+      metrics_
+          ->gauge("rupam_sim_node_busy_fraction", {{"node", label}, {"resource", resource}},
+                  "Fraction of simulated time the resource had at least one active claim")
+          .set(f);
+    };
+    busy("cpu", node.cpu());
+    busy("net", node.net());
+    busy("disk_read", node.disk_read());
+    busy("disk_write", node.disk_write());
+  }
+  metrics_->gauge("rupam_sim_oom_kills", {}, "Task attempts killed by the memory guard")
+      .set(static_cast<double>(total_oom_kills()));
+  metrics_->gauge("rupam_sim_executor_losses", {}, "Executors lost to GC death spirals")
+      .set(static_cast<double>(total_executor_losses()));
 }
 
 std::size_t Simulation::total_oom_kills() const {

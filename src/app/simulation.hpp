@@ -21,6 +21,10 @@
 #include "faults/fault_injector.hpp"
 #include "metrics/jct.hpp"
 #include "metrics/utilization_sampler.hpp"
+#include "obs/audit.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/overhead.hpp"
+#include "obs/spans.hpp"
 #include "sched/baselines/capability_scheduler.hpp"
 #include "sched/baselines/fifo_scheduler.hpp"
 #include "sched/rupam/rupam_scheduler.hpp"
@@ -72,6 +76,16 @@ struct SimulationConfig {
   /// exportable via Simulation::trace()).
   bool enable_trace = false;
 
+  /// Observability layer (src/obs/). All three default off; when off the
+  /// simulation takes no extra allocations and produces byte-identical
+  /// traces. `enable_metrics` wires a MetricsRegistry through the DAG
+  /// scheduler, task scheduler, fault injector and cluster; `enable_audit`
+  /// records one DispatchDecision per launch; `enable_spans` records
+  /// per-attempt task-phase spans exportable as a Perfetto trace.
+  bool enable_metrics = false;
+  bool enable_audit = false;
+  bool enable_spans = false;
+
   /// Declarative fault plan to replay (see faults/fault_plan.hpp).
   FaultPlan faults;
   /// Non-zero: merge in a seeded random chaos plan.
@@ -120,6 +134,20 @@ class Simulation {
   DagScheduler& dag() { return *dag_; }
   HeartbeatService& heartbeats() { return *heartbeats_; }
 
+  /// Non-null when enable_metrics was set. End-of-run gauges (busy
+  /// fractions, OOM totals) are refreshed by each run() before it returns.
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  /// Non-null when enable_audit was set: one record per task launch.
+  DecisionAudit* audit() { return audit_.get(); }
+  /// Non-null when enable_spans was set.
+  SpanTrace* spans() { return spans_.get(); }
+  /// Attach a host wall-clock profiler to the scheduler's decision path
+  /// and the heartbeat pump (not owned; pass nullptr to detach).
+  void set_profiler(OverheadProfiler* profiler) {
+    profiler_ = profiler;
+    scheduler_->set_profiler(profiler);
+  }
+
   std::size_t total_oom_kills() const;
   std::size_t total_executor_losses() const;
   /// Partitions recomputed because a crash destroyed their map output.
@@ -137,6 +165,13 @@ class Simulation {
   std::unique_ptr<UtilizationSampler> sampler_;
   std::unique_ptr<EventTrace> trace_;
   std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<DecisionAudit> audit_;
+  std::unique_ptr<SpanTrace> spans_;
+  OverheadProfiler* profiler_ = nullptr;
+
+  void register_stage_parents(const Application& app);
+  void snapshot_gauges();
 };
 
 }  // namespace rupam

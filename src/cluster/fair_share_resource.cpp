@@ -47,6 +47,7 @@ void FairShareResource::integrate_progress() {
   double dt = now - last_update_;
   last_update_ = now;
   if (dt <= 0.0 || claims_.empty()) return;
+  busy_seconds_ += dt;
   double base = share_rate();
   for (auto& [id, claim] : claims_) {
     double drained = base * claim.speed_factor * dt;
@@ -142,6 +143,14 @@ double FairShareResource::total_drained() {
   integrate_progress();
   reschedule();
   return drained_;
+}
+
+double FairShareResource::busy_seconds() {
+  // Integrating advances last_update_ but leaves every claim's ETA (and
+  // thus the pending completion event) unchanged, so no reschedule —
+  // querying must not perturb event ordering.
+  integrate_progress();
+  return busy_seconds_;
 }
 
 }  // namespace rupam

@@ -55,6 +55,9 @@ class FairShareResource {
   double current_rate() const;
   /// Total units drained since construction.
   double total_drained();
+  /// Simulated seconds during which at least one claim was active
+  /// (integrated lazily). Busy fraction = busy_seconds() / elapsed time.
+  double busy_seconds();
 
   /// Currently deliverable capacity (nominal spec x throttle scale).
   double capacity() const { return capacity_ * capacity_scale_; }
@@ -84,6 +87,7 @@ class FairShareResource {
   ClaimId next_id_ = 1;
   SimTime last_update_ = 0.0;
   double drained_ = 0.0;
+  double busy_seconds_ = 0.0;
   EventHandle pending_event_;
 };
 

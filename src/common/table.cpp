@@ -50,7 +50,7 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) os_ << ',';
     const std::string& cell = cells[i];
-    if (cell.find_first_of(",\"\n") != std::string::npos) {
+    if (cell.find_first_of(",\"\n\r") != std::string::npos) {
       os_ << '"';
       for (char ch : cell) {
         if (ch == '"') os_ << '"';

@@ -25,6 +25,7 @@
 
 #include "dag/job.hpp"
 #include "dag/map_output_tracker.hpp"
+#include "obs/metrics_registry.hpp"
 #include "simcore/simulator.hpp"
 
 namespace rupam {
@@ -54,6 +55,10 @@ class DagScheduler {
 
   /// Fires once per completed job with its lifecycle record.
   void set_job_observer(JobObserverFn fn) { job_observer_ = std::move(fn); }
+
+  /// Optional metrics registry (not owned): job/stage lifecycle counters
+  /// and shuffle-recovery resubmissions.
+  void set_metrics(MetricsRegistry* metrics);
 
   /// Single-application entry point: start executing `app`; `on_done`
   /// fires when its last job completes. Throws if anything is already
@@ -127,6 +132,12 @@ class DagScheduler {
   std::size_t jobs_completed_ = 0;
   std::size_t apps_completed_ = 0;
   std::size_t recomputed_partitions_ = 0;
+  // Bound in set_metrics; null while metrics are off.
+  Counter* jobs_counter_ = nullptr;
+  Counter* apps_counter_ = nullptr;
+  Counter* stages_submitted_counter_ = nullptr;
+  Counter* stages_completed_counter_ = nullptr;
+  Counter* resubmitted_counter_ = nullptr;
   std::map<std::pair<StageId, int>, int> recompute_counts_;
 };
 

@@ -157,9 +157,40 @@ TaskExecution::TaskExecution(Executor& executor, TaskSpec spec, LaunchOptions op
   metrics_.peak_memory = spec_.peak_memory;
 }
 
+void TaskExecution::obs_span(TaskPhase phase, SimTime start, SimTime end, double arg,
+                             bool truncated) {
+  if (executor_.span_trace_ == nullptr) return;
+  PhaseSpan s;
+  s.start = start;
+  s.end = end;
+  s.phase = phase;
+  s.stage = spec_.stage;
+  s.task = spec_.id;
+  s.attempt = opts_.attempt;
+  s.node = executor_.node().id();
+  s.arg = arg;
+  s.truncated = truncated;
+  executor_.span_trace_->record(s);
+}
+
+void TaskExecution::obs_begin(TaskPhase phase) {
+  if (executor_.span_trace_ == nullptr) return;
+  obs_phase_ = phase;
+  obs_phase_start_ = executor_.sim().now();
+  obs_in_phase_ = true;
+}
+
+void TaskExecution::obs_end(double arg) {
+  if (!obs_in_phase_) return;
+  obs_in_phase_ = false;
+  obs_span(obs_phase_, obs_phase_start_, executor_.sim().now(), arg);
+}
+
 void TaskExecution::start() {
   metrics_.launch_time = executor_.sim().now();
   metrics_.scheduler_delay = metrics_.launch_time - metrics_.submit_time;
+  obs_span(TaskPhase::kQueued, metrics_.submit_time, metrics_.launch_time,
+           metrics_.scheduler_delay);
   // Managed execution memory is arbitrated: a task gets at most what the
   // heap still holds and *spills* the shortfall to disk (Spark semantics —
   // managed memory never OOMs). Unmanaged user objects are allocated
@@ -200,10 +231,12 @@ void TaskExecution::start_input_read() {
     return;
   }
   SimTime started = executor_.sim().now();
+  obs_begin(TaskPhase::kInputRead);
   auto self = shared_from_this();
   auto done = [this, self, started] {
     clear_claim();
     metrics_.input_read_time = executor_.sim().now() - started;
+    obs_end(spec_.input_bytes);
     start_shuffle_disk_read();
   };
   NodeId here = executor_.node().id();
@@ -237,13 +270,15 @@ void TaskExecution::start_shuffle_disk_read() {
     return;
   }
   SimTime started = executor_.sim().now();
+  obs_begin(TaskPhase::kShuffleDiskRead);
   auto self = shared_from_this();
   claim_resource_ = &executor_.node().disk_read();
-  claim_id_ = claim_resource_->start(local, 1.0, [this, self, started] {
+  claim_id_ = claim_resource_->start(local, 1.0, [this, self, started, local] {
     clear_claim();
     SimTime dt = executor_.sim().now() - started;
     metrics_.shuffle_read_time += dt;
     metrics_.shuffle_disk_time += dt;
+    obs_end(local);
     start_shuffle_net_read();
   });
 }
@@ -256,13 +291,15 @@ void TaskExecution::start_shuffle_net_read() {
     return;
   }
   SimTime started = executor_.sim().now();
+  obs_begin(TaskPhase::kShuffleNetRead);
   auto self = shared_from_this();
   claim_resource_ = &executor_.node().net();
-  claim_id_ = claim_resource_->start(remote, 1.0, [this, self, started] {
+  claim_id_ = claim_resource_->start(remote, 1.0, [this, self, started, remote] {
     clear_claim();
     SimTime dt = executor_.sim().now() - started;
     metrics_.shuffle_read_time += dt;
     metrics_.shuffle_net_time += dt;
+    obs_end(remote);
     start_compute();
   });
 }
@@ -270,6 +307,7 @@ void TaskExecution::start_shuffle_net_read() {
 void TaskExecution::start_compute() {
   if (state_ != State::kRunning) return;
   SimTime started = executor_.sim().now();
+  obs_begin(TaskPhase::kCompute);
   auto self = shared_from_this();
   auto done = [this, self, started] {
     clear_claim();
@@ -309,6 +347,15 @@ void TaskExecution::finish_compute(SimTime started) {
   metrics_.gc_time = gc_wall;
   metrics_.compute_time = std::max(0.0, wall - gc_wall) + metrics_.input_read_time;
   metrics_.serialization_time = spec_.serialization_fraction * metrics_.compute_time;
+  if (obs_in_phase_) {
+    // Compute span over the whole service interval, with the GC share as a
+    // nested span at the tail (where a real JVM's stop-the-world pauses
+    // cluster once the heap fills).
+    obs_in_phase_ = false;
+    SimTime now = executor_.sim().now();
+    obs_span(TaskPhase::kCompute, started, now, std::max(0.0, wall - gc_wall));
+    if (gc_wall > 0.0) obs_span(TaskPhase::kGc, now - gc_wall, now, gc_wall);
+  }
 
   Bytes evicted = 0.0;
   if (!spec_.cache_output_key.empty() && spec_.cache_output_bytes > 0.0) {
@@ -326,8 +373,12 @@ void TaskExecution::finish_compute(SimTime started) {
     SimTime churn_t = executor_.gc_.gc_time(evicted, executor_.heap(), executor_.occupancy());
     if (churn_t > 0.0) {
       metrics_.gc_time += churn_t;
+      obs_begin(TaskPhase::kGc);
       auto self = shared_from_this();
-      timer_ = executor_.sim().schedule_after(churn_t, [this, self] { start_shuffle_write(); });
+      timer_ = executor_.sim().schedule_after(churn_t, [this, self, churn_t] {
+        obs_end(churn_t);
+        start_shuffle_write();
+      });
       return;
     }
   }
@@ -344,13 +395,21 @@ void TaskExecution::start_shuffle_write() {
     return;
   }
   SimTime started = executor_.sim().now();
+  obs_begin(TaskPhase::kShuffleWrite);
   auto self = shared_from_this();
   claim_resource_ = &executor_.node().disk_write();
-  claim_id_ = claim_resource_->start(bytes, 1.0, [this, self, started] {
+  claim_id_ = claim_resource_->start(bytes, 1.0, [this, self, started, bytes] {
     clear_claim();
     SimTime dt = executor_.sim().now() - started;
     metrics_.shuffle_write_time += dt;
     metrics_.shuffle_disk_time += dt;
+    obs_end(bytes);
+    if (spill_bytes_ > 0.0 && executor_.span_trace_ != nullptr && bytes > 0.0) {
+      // The tail share of the write attributable to spill merge I/O.
+      SimTime spill_dt = dt * (2.0 * spill_bytes_ / bytes);
+      obs_span(TaskPhase::kSpill, executor_.sim().now() - spill_dt, executor_.sim().now(),
+               spill_bytes_);
+    }
     start_output_send();
   });
 }
@@ -362,6 +421,7 @@ void TaskExecution::start_output_send() {
     return;
   }
   SimTime started = executor_.sim().now();
+  obs_begin(TaskPhase::kOutputSend);
   auto self = shared_from_this();
   claim_resource_ = &executor_.node().net();
   claim_id_ = claim_resource_->start(spec_.output_bytes, 1.0, [this, self, started] {
@@ -369,6 +429,7 @@ void TaskExecution::start_output_send() {
     SimTime dt = executor_.sim().now() - started;
     metrics_.output_time = dt;
     metrics_.shuffle_net_time += dt;
+    obs_end(spec_.output_bytes);
     complete();
   });
 }
@@ -391,6 +452,11 @@ void TaskExecution::complete() {
 void TaskExecution::kill(const std::string& reason, bool notify) {
   if (state_ != State::kRunning) return;
   state_ = State::kKilled;
+  if (obs_in_phase_) {
+    // Close the open phase as truncated so partial attempts still render.
+    obs_in_phase_ = false;
+    obs_span(obs_phase_, obs_phase_start_, executor_.sim().now(), 0.0, /*truncated=*/true);
+  }
   if (claim_resource_ != nullptr) {
     claim_resource_->cancel(claim_id_);
     clear_claim();

@@ -24,6 +24,7 @@
 #include "common/rng.hpp"
 #include "exec/block_cache.hpp"
 #include "exec/gc_model.hpp"
+#include "obs/spans.hpp"
 #include "tasks/task.hpp"
 #include "tasks/task_metrics.hpp"
 
@@ -85,6 +86,14 @@ class TaskExecution : public std::enable_shared_from_this<TaskExecution> {
   friend class Executor;
   enum class State { kRunning, kFinished, kKilled };
 
+  /// Phase-span recording (no-ops while the executor has no SpanTrace).
+  /// obs_begin/obs_end bracket the common sequential phases; obs_span
+  /// emits an arbitrary interval (GC tails, spill shares, queued time).
+  void obs_span(TaskPhase phase, SimTime start, SimTime end, double arg,
+                bool truncated = false);
+  void obs_begin(TaskPhase phase);
+  void obs_end(double arg);
+
   void start();
   void start_input_read();
   void start_shuffle_disk_read();
@@ -114,6 +123,12 @@ class TaskExecution : public std::enable_shared_from_this<TaskExecution> {
   FairShareResource* claim_resource_ = nullptr;
   FairShareResource::ClaimId claim_id_ = 0;
   EventHandle timer_;
+
+  // Current phase for span recording, so kill() can close a truncated
+  // span. Only meaningful while the executor has a SpanTrace attached.
+  TaskPhase obs_phase_ = TaskPhase::kQueued;
+  SimTime obs_phase_start_ = 0.0;
+  bool obs_in_phase_ = false;
 };
 
 class Executor {
@@ -163,6 +178,12 @@ class Executor {
   std::size_t oom_kills() const { return oom_kills_; }
   std::size_t executor_losses() const { return executor_losses_; }
 
+  /// Optional task-phase span sink (not owned; may be null). While
+  /// attached, every task attempt records queued/IO/compute/GC/spill
+  /// spans. Pure recording — never schedules simulator events.
+  void set_span_trace(SpanTrace* spans) { span_trace_ = spans; }
+  SpanTrace* span_trace() const { return span_trace_; }
+
   /// Fault injection: hard-kill the worker (tasks fail with notify, cache
   /// invalidated). Unlike an organic JVM loss, no self-restart is
   /// scheduled — the injector revives the node with force_restart().
@@ -197,6 +218,7 @@ class Executor {
   LostFn on_lost_;
   ReadyFn on_ready_;
   std::function<bool(const std::string&)> peer_cache_probe_;
+  SpanTrace* span_trace_ = nullptr;
   std::size_t oom_kills_ = 0;
   std::size_t executor_losses_ = 0;
 };

@@ -17,6 +17,7 @@
 #include "exec/executor.hpp"
 #include "faults/fault_plan.hpp"
 #include "metrics/event_trace.hpp"
+#include "obs/metrics_registry.hpp"
 #include "simcore/simulator.hpp"
 
 namespace rupam {
@@ -45,6 +46,9 @@ class FaultInjector {
   /// Schedule every plan event on the simulator. Call once, before run().
   void arm();
 
+  /// Optional metrics registry (not owned): faults_injected_total{kind}.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
   const FaultPlan& plan() const { return plan_; }
   std::size_t injected() const { return injected_; }
   std::size_t crashes() const { return crashes_; }
@@ -61,6 +65,7 @@ class FaultInjector {
 
   FaultInjectorEnv env_;
   FaultPlan plan_;
+  MetricsRegistry* metrics_ = nullptr;
   bool armed_ = false;
   std::size_t injected_ = 0;
   std::size_t crashes_ = 0;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/json_writer.hpp"
 #include "common/table.hpp"
 
 namespace rupam {
@@ -53,22 +54,9 @@ void EventTrace::write_csv(std::ostream& os) const {
   }
 }
 
-namespace {
-std::string json_escape(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  for (char c : in) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-}  // namespace
-
+// JSON escaping is shared with every other exporter (common/json_writer);
+// the line format here stays hand-rolled to keep the compact one-event-
+// per-line layout.
 void EventTrace::write_chrome_tracing(std::ostream& os) const {
   os << "[\n";
   bool first = true;

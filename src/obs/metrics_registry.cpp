@@ -1,0 +1,254 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/json_writer.hpp"
+
+namespace rupam {
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto ok_first = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!ok_first(name[0])) return false;
+  return std::all_of(name.begin(), name.end(), [&](char c) {
+    return ok_first(c) || (c >= '0' && c <= '9');
+  });
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto ok_first = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!ok_first(name[0])) return false;
+  return std::all_of(name.begin(), name.end(), [&](char c) {
+    return ok_first(c) || (c >= '0' && c <= '9');
+  });
+}
+
+/// Prometheus label values escape \, ", and newline.
+std::string escape_label_value(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_value(double v) {
+  if (v == std::numeric_limits<double>::infinity()) return "+Inf";
+  // Integral values (the common case for counters) print without a
+  // fraction; everything else uses shortest-ish %g.
+  double rounded = std::nearbyint(v);
+  if (v == rounded && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(rounded));
+  }
+  return json_number(v, 9);
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram bounds must be ascending");
+  }
+  per_bucket_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  std::size_t i = std::upper_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  // upper_bound gives first bound > value; Prometheus buckets are
+  // inclusive (le), so a value equal to a bound belongs in that bucket.
+  if (i > 0 && bounds_[i - 1] == value) i -= 1;
+  per_bucket_[i] += 1;
+  count_ += 1;
+  sum_ += value;
+}
+
+std::vector<std::uint64_t> Histogram::cumulative_counts() const {
+  std::vector<std::uint64_t> out(per_bucket_.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < per_bucket_.size(); ++i) {
+    running += per_bucket_[i];
+    out[i] = running;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_labels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name, Kind kind,
+                                                 const std::string& help) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("invalid metric name: " + name);
+  }
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& fam = it->second;
+  if (inserted) {
+    fam.kind = kind;
+    fam.help = help;
+  } else if (fam.kind != kind) {
+    throw std::invalid_argument("metric " + name + " re-registered with a different type");
+  } else if (fam.help.empty() && !help.empty()) {
+    fam.help = help;
+  }
+  return fam;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const MetricLabels& labels,
+                                  const std::string& help) {
+  for (const auto& [k, _] : labels) {
+    if (!valid_label_name(k)) throw std::invalid_argument("invalid label name: " + k);
+  }
+  Family& fam = family(name, Kind::kCounter, help);
+  auto [it, inserted] = fam.series.try_emplace(render_labels(labels));
+  if (inserted) it->second.labels = labels;
+  return it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const MetricLabels& labels,
+                              const std::string& help) {
+  for (const auto& [k, _] : labels) {
+    if (!valid_label_name(k)) throw std::invalid_argument("invalid label name: " + k);
+  }
+  Family& fam = family(name, Kind::kGauge, help);
+  auto [it, inserted] = fam.series.try_emplace(render_labels(labels));
+  if (inserted) it->second.labels = labels;
+  return it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds,
+                                      const MetricLabels& labels, const std::string& help) {
+  for (const auto& [k, _] : labels) {
+    if (!valid_label_name(k)) throw std::invalid_argument("invalid label name: " + k);
+  }
+  Family& fam = family(name, Kind::kHistogram, help);
+  auto [it, inserted] = fam.series.try_emplace(render_labels(labels));
+  if (inserted) {
+    it->second.labels = labels;
+    it->second.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *it->second.histogram;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, fam] : families_) n += fam.series.size();
+  return n;
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) os << "# HELP " << name << " " << fam.help << "\n";
+    os << "# TYPE " << name << " " << kind_name(static_cast<int>(fam.kind)) << "\n";
+    for (const auto& [rendered, series] : fam.series) {
+      switch (fam.kind) {
+        case Kind::kCounter:
+          os << name << rendered << " " << format_value(series.counter.value()) << "\n";
+          break;
+        case Kind::kGauge:
+          os << name << rendered << " " << format_value(series.gauge.value()) << "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          auto cumulative = h.cumulative_counts();
+          // Splice le="..." into the existing label set.
+          auto bucket_labels = [&](const std::string& le) {
+            MetricLabels labels = series.labels;
+            labels.emplace_back("le", le);
+            return render_labels(labels);
+          };
+          for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+            os << name << "_bucket" << bucket_labels(format_value(h.bounds()[i])) << " "
+               << cumulative[i] << "\n";
+          }
+          os << name << "_bucket" << bucket_labels("+Inf") << " " << h.count() << "\n";
+          os << name << "_sum" << rendered << " " << json_number(h.sum(), 9) << "\n";
+          os << name << "_count" << rendered << " " << h.count() << "\n";
+          break;
+        }
+      }
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  for (const auto& [name, fam] : families_) {
+    w.key(name).begin_object();
+    w.key("type").value(kind_name(static_cast<int>(fam.kind)));
+    w.key("help").value(fam.help);
+    w.key("series").begin_array();
+    for (const auto& [_, series] : fam.series) {
+      w.begin_object();
+      w.key("labels").begin_object();
+      for (const auto& [k, v] : series.labels) w.key(k).value(v);
+      w.end_object();
+      switch (fam.kind) {
+        case Kind::kCounter:
+          w.key("value").value(series.counter.value());
+          break;
+        case Kind::kGauge:
+          w.key("value").value(series.gauge.value());
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          w.key("count").value(static_cast<unsigned long long>(h.count()));
+          w.key("sum").value(h.sum());
+          w.key("buckets").begin_array();
+          auto cumulative = h.cumulative_counts();
+          for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+            w.begin_object();
+            w.key("le").value(h.bounds()[i]);
+            w.key("count").value(static_cast<unsigned long long>(cumulative[i]));
+            w.end_object();
+          }
+          w.end_array();
+          break;
+        }
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace rupam

@@ -1,0 +1,15 @@
+#include "obs/overhead.hpp"
+
+namespace rupam {
+
+std::string_view to_string(ProfileSection section) {
+  switch (section) {
+    case ProfileSection::kDispatch: return "dispatch";
+    case ProfileSection::kHeapMaintenance: return "heap_maintenance";
+    case ProfileSection::kHeartbeat: return "heartbeat";
+    case ProfileSection::kEnqueue: return "enqueue";
+  }
+  return "?";
+}
+
+}  // namespace rupam

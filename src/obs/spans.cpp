@@ -1,0 +1,211 @@
+#include "obs/spans.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/json_writer.hpp"
+
+namespace rupam {
+
+std::string_view to_string(TaskPhase phase) {
+  switch (phase) {
+    case TaskPhase::kQueued: return "queued";
+    case TaskPhase::kInputRead: return "input_read";
+    case TaskPhase::kShuffleDiskRead: return "shuffle_disk_read";
+    case TaskPhase::kShuffleNetRead: return "shuffle_net_read";
+    case TaskPhase::kCompute: return "compute";
+    case TaskPhase::kGc: return "gc";
+    case TaskPhase::kShuffleWrite: return "shuffle_write";
+    case TaskPhase::kSpill: return "spill";
+    case TaskPhase::kOutputSend: return "output_send";
+  }
+  return "?";
+}
+
+void SpanTrace::set_stage_parents(StageId stage, std::vector<StageId> parents) {
+  stage_parents_[stage] = std::move(parents);
+}
+
+std::size_t SpanTrace::count(TaskPhase phase) const {
+  return static_cast<std::size_t>(
+      std::count_if(spans_.begin(), spans_.end(),
+                    [phase](const PhaseSpan& s) { return s.phase == phase; }));
+}
+
+namespace {
+
+using AttemptKey = std::tuple<StageId, TaskId, AttemptId>;
+
+struct AttemptInfo {
+  NodeId node = kInvalidNode;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  int lane = 0;
+  std::vector<std::size_t> span_indices;  // into SpanTrace::spans(), in order
+};
+
+double to_us(SimTime t) { return t * 1e6; }
+
+}  // namespace
+
+void SpanTrace::write_perfetto(std::ostream& os) const {
+  // Collapse spans into attempts and compute each attempt's envelope.
+  std::map<AttemptKey, AttemptInfo> attempts;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const PhaseSpan& s = spans_[i];
+    AttemptKey key{s.stage, s.task, s.attempt};
+    auto [it, inserted] = attempts.try_emplace(key);
+    AttemptInfo& info = it->second;
+    if (inserted) {
+      info.node = s.node;
+      info.start = s.start;
+      info.end = s.end;
+    } else {
+      info.start = std::min(info.start, s.start);
+      info.end = std::max(info.end, s.end);
+    }
+    info.span_indices.push_back(i);
+  }
+
+  // Greedy per-node lane assignment over attempt envelopes so overlapping
+  // attempts on a node render side by side instead of mis-nesting.
+  std::map<NodeId, std::vector<const AttemptKey*>> by_node;
+  for (const auto& [key, info] : attempts) by_node[info.node].push_back(&key);
+  for (auto& [node, keys] : by_node) {
+    std::sort(keys.begin(), keys.end(), [&](const AttemptKey* a, const AttemptKey* b) {
+      const AttemptInfo& ia = attempts.at(*a);
+      const AttemptInfo& ib = attempts.at(*b);
+      return std::tie(ia.start, *a) < std::tie(ib.start, *b);
+    });
+    std::vector<SimTime> lane_free;
+    for (const AttemptKey* key : keys) {
+      AttemptInfo& info = attempts.at(*key);
+      int lane = -1;
+      for (std::size_t l = 0; l < lane_free.size(); ++l) {
+        if (lane_free[l] <= info.start) {
+          lane = static_cast<int>(l);
+          break;
+        }
+      }
+      if (lane < 0) {
+        lane = static_cast<int>(lane_free.size());
+        lane_free.push_back(0.0);
+      }
+      lane_free[static_cast<std::size_t>(lane)] = info.end;
+      info.lane = lane;
+    }
+  }
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+
+  // Process metadata: one pid per node.
+  for (const auto& [node, keys] : by_node) {
+    (void)keys;
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("name").value("process_name");
+    w.key("pid").value(node);
+    w.key("tid").value(0);
+    w.key("args").begin_object().key("name").value("node " + std::to_string(node)).end_object();
+    w.end_object();
+  }
+
+  auto emit_slice = [&](const char* cat, const std::string& name, NodeId pid, int tid,
+                        SimTime start, SimTime end, auto&& args_fn) {
+    w.begin_object();
+    w.key("ph").value("X");
+    w.key("cat").value(cat);
+    w.key("name").value(name);
+    w.key("pid").value(pid);
+    w.key("tid").value(tid);
+    w.key("ts").raw(json_number(to_us(start), 12));
+    w.key("dur").raw(json_number(to_us(end - start), 12));
+    w.key("args").begin_object();
+    args_fn();
+    w.end_object();
+    w.end_object();
+  };
+
+  for (const auto& [node, keys] : by_node) {
+    (void)node;
+    for (const AttemptKey* key : keys) {
+      const auto& [stage, task, attempt] = *key;
+      const AttemptInfo& info = attempts.at(*key);
+      emit_slice("attempt",
+                 "S" + std::to_string(stage) + ".T" + std::to_string(task) + "#" +
+                     std::to_string(attempt),
+                 info.node, info.lane, info.start, info.end, [&] {
+                   w.key("stage").value(stage);
+                   w.key("task").value(static_cast<long long>(task));
+                   w.key("attempt").value(attempt);
+                 });
+      for (std::size_t i : info.span_indices) {
+        const PhaseSpan& s = spans_[i];
+        emit_slice("phase", std::string(to_string(s.phase)), s.node, info.lane, s.start, s.end,
+                   [&] {
+                     w.key("arg").raw(json_number(s.arg, 9));
+                     if (s.truncated) w.key("truncated").value(true);
+                   });
+      }
+    }
+  }
+
+  // Flow arrows: parent map stage → child attempt's first shuffle read.
+  // Source is the parent's latest-finishing attempt (the one the child's
+  // fetch actually waited for); the "s"/"f" pair binds to the midpoints of
+  // the source and destination slices.
+  long long flow_id = 0;
+  auto emit_flow = [&](const char* ph, long long id, NodeId pid, int tid, SimTime ts,
+                       bool enclosing) {
+    w.begin_object();
+    w.key("ph").value(ph);
+    if (enclosing) w.key("bp").value("e");
+    w.key("cat").value("shuffle");
+    w.key("name").value("map_output");
+    w.key("id").value(id);
+    w.key("pid").value(pid);
+    w.key("tid").value(tid);
+    w.key("ts").raw(json_number(to_us(ts), 12));
+    w.end_object();
+  };
+  for (const auto& [child_stage, parents] : stage_parents_) {
+    // Latest-finishing attempt of each parent stage.
+    std::map<StageId, const AttemptKey*> parent_source;
+    for (const auto& [key, info] : attempts) {
+      StageId stage = std::get<0>(key);
+      if (std::find(parents.begin(), parents.end(), stage) == parents.end()) continue;
+      auto [it, inserted] = parent_source.try_emplace(stage, &key);
+      if (!inserted && info.end > attempts.at(*it->second).end) it->second = &key;
+    }
+    for (const auto& [key, info] : attempts) {
+      if (std::get<0>(key) != child_stage) continue;
+      // First shuffle-read span of this attempt.
+      const PhaseSpan* target = nullptr;
+      for (std::size_t i : info.span_indices) {
+        const PhaseSpan& s = spans_[i];
+        if (s.phase == TaskPhase::kShuffleDiskRead || s.phase == TaskPhase::kShuffleNetRead) {
+          target = &s;
+          break;
+        }
+      }
+      if (target == nullptr) continue;
+      for (StageId parent : parents) {
+        auto src_it = parent_source.find(parent);
+        if (src_it == parent_source.end()) continue;
+        const AttemptInfo& src = attempts.at(*src_it->second);
+        long long id = flow_id++;
+        emit_flow("s", id, src.node, src.lane, 0.5 * (src.start + src.end), false);
+        emit_flow("f", id, info.node, info.lane, 0.5 * (target->start + target->end), true);
+      }
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace rupam

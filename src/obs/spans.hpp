@@ -1,0 +1,76 @@
+// Task-phase spans — per-attempt duration events covering the executor's
+// phase machine (queued → input read → shuffle read → compute (+GC) →
+// shuffle write (+spill) → output send), exported as a Perfetto/Chrome
+// "Trace Event Format" JSON with one process per node, greedy per-node
+// lanes, and flow arrows from map-stage attempts to the reduce-stage
+// attempts that fetch their shuffle output.
+//
+// TaskExecution records spans when an SpanTrace is attached to its
+// executor (`rupam_sim --trace-perfetto`); recording never schedules
+// simulator events, so flags-off runs are bit-identical.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rupam {
+
+enum class TaskPhase : std::uint8_t {
+  kQueued = 0,       // submit → launch (scheduler delay)
+  kInputRead,        // HDFS / cache input
+  kShuffleDiskRead,  // local map-output read
+  kShuffleNetRead,   // remote map-output fetch
+  kCompute,          // CPU or GPU service (GC nested at the tail)
+  kGc,               // GC wall time (tail of compute, or cache-churn GC)
+  kShuffleWrite,     // map-output write (includes spill merge I/O)
+  kSpill,            // portion of the write attributable to spilled bytes
+  kOutputSend,       // result send to the driver / next stage
+};
+inline constexpr int kNumTaskPhases = 9;
+
+std::string_view to_string(TaskPhase phase);
+
+struct PhaseSpan {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  TaskPhase phase = TaskPhase::kQueued;
+  StageId stage = -1;
+  TaskId task = -1;
+  AttemptId attempt = 0;
+  NodeId node = kInvalidNode;
+  /// Phase-specific magnitude: bytes moved for I/O phases, GC seconds for
+  /// kGc, scheduler-delay seconds for kQueued.
+  double arg = 0.0;
+  /// The attempt was killed mid-phase (OOM, executor loss, relocation).
+  bool truncated = false;
+};
+
+class SpanTrace {
+ public:
+  void record(PhaseSpan span) { spans_.push_back(span); }
+
+  /// Shuffle topology for flow arrows: `parents` are the map stages whose
+  /// output `stage` fetches. Registered by the Simulation from the DAG.
+  void set_stage_parents(StageId stage, std::vector<StageId> parents);
+
+  const std::vector<PhaseSpan>& spans() const { return spans_; }
+  std::size_t count(TaskPhase phase) const;
+  bool empty() const { return spans_.empty(); }
+
+  /// Chrome "Trace Event Format" JSON loadable in Perfetto: "M" process
+  /// metadata per node, nested "X" slices (attempt → phases), and legacy
+  /// flow events ("s"/"f" with bp:"e") from each parent stage's
+  /// latest-finishing attempt to every child attempt's first shuffle-read
+  /// span.
+  void write_perfetto(std::ostream& os) const;
+
+ private:
+  std::vector<PhaseSpan> spans_;
+  std::map<StageId, std::vector<StageId>> stage_parents_;
+};
+
+}  // namespace rupam

@@ -66,7 +66,9 @@ void CapabilityScheduler::try_dispatch() {
       // One placement per round: the best node with a free slot takes the
       // next pending task of this stage — locality is ignored entirely
       // ("nodes are ranked by capability, tasks are interchangeable").
-      for (NodeId node : ranked_nodes(kind)) {
+      std::vector<NodeId> ranked = ranked_nodes(kind);
+      for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
+        NodeId node = ranked[rank];
         Executor* exec = executor(node);
         if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
         if (kind == ResourceKind::kGpu && cluster().node(node).gpus().idle() == 0) continue;
@@ -78,6 +80,14 @@ void CapabilityScheduler::try_dispatch() {
           }
         }
         if (next == nullptr) break;
+        if (audit_enabled()) {
+          Explain e;
+          e.reason = "capability_rank";
+          e.detail = "tag=" + std::string(to_string(kind)) + " rank=" + std::to_string(rank);
+          e.candidates = static_cast<int>(ranked.size());
+          e.candidate_nodes = ranked;
+          explain_next_launch(std::move(e));
+        }
         if (launch_task(stage, *next, node, next->spec.gpu_accelerable,
                         /*speculative=*/false, kind)) {
           progressed = true;
@@ -96,6 +106,14 @@ void CapabilityScheduler::try_dispatch() {
       Executor* exec = executor(node);
       if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
       if (task.has_attempt_on(node)) continue;
+      if (audit_enabled()) {
+        Explain e;
+        e.reason = "capability_speculative";
+        e.detail = "tag=" + std::string(to_string(stage_bottleneck(stage.set.stage_name)));
+        e.candidates = 1;
+        e.candidate_nodes = {node};
+        explain_next_launch(std::move(e));
+      }
       if (launch_task(stage, task, node, task.spec.gpu_accelerable, /*speculative=*/true)) {
         note_speculative_launch(task.spec.id);
         break;

@@ -22,6 +22,14 @@ void FifoScheduler::try_dispatch() {
           }
         }
         if (next == nullptr) continue;
+        if (audit_enabled()) {
+          Explain e;
+          e.reason = "fifo_first_free_slot";
+          e.detail = "rotation=" + std::to_string(rotation_ % ids.size());
+          e.candidates = 1;
+          e.candidate_nodes = {node};
+          explain_next_launch(std::move(e));
+        }
         if (launch_task(stage, *next, node, next->spec.gpu_accelerable,
                         /*speculative=*/false)) {
           progressed = true;
@@ -41,6 +49,13 @@ void FifoScheduler::try_dispatch() {
       if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node) ||
           task.has_attempt_on(node)) {
         continue;
+      }
+      if (audit_enabled()) {
+        Explain e;
+        e.reason = "fifo_speculative";
+        e.candidates = 1;
+        e.candidate_nodes = {node};
+        explain_next_launch(std::move(e));
       }
       if (launch_task(stage, task, node, task.spec.gpu_accelerable, /*speculative=*/true)) {
         note_speculative_launch(task.spec.id);

@@ -12,7 +12,10 @@ RupamScheduler::RupamScheduler(SchedulerEnv env, RupamConfig config)
       tm_(db_, TaskManagerConfig{config.res_factor, config.mem_queue_threshold}) {}
 
 void RupamScheduler::on_heartbeat(const NodeMetrics& metrics) {
-  rm_.record(metrics, sim().now());
+  {
+    OverheadProfiler::Scope profile(profiler(), ProfileSection::kHeapMaintenance);
+    rm_.record(metrics, sim().now());
+  }
   check_memory_straggler(metrics);
   SchedulerBase::on_heartbeat(metrics);
 }
@@ -247,17 +250,25 @@ RupamScheduler::Pick RupamScheduler::select_speculative(ResourceKind kind, NodeI
 }
 
 void RupamScheduler::try_dispatch() {
-  seed_monitor();
-  rm_.sweep_dead(sim().now());
+  {
+    OverheadProfiler::Scope profile(profiler(), ProfileSection::kHeapMaintenance);
+    seed_monitor();
+    rm_.sweep_dead(sim().now());
+  }
   int misses = 0;
   while (misses < kNumResourceKinds) {
     ResourceKind kind = round_robin_.next();
-    auto nodes = rm_.ranked(
-        kind, [this, kind](const NodeMetrics& m) { return node_available(m, kind); });
+    std::vector<NodeId> nodes;
+    {
+      OverheadProfiler::Scope profile(profiler(), ProfileSection::kHeapMaintenance);
+      nodes = rm_.ranked(
+          kind, [this, kind](const NodeMetrics& m) { return node_available(m, kind); });
+    }
     // Walk the priority queue until a node accepts a task; launch at most
     // one task per kind-visit so no resource type is starved.
     bool launched = false;
-    for (NodeId node : nodes) {
+    for (std::size_t rank = 0; rank < nodes.size(); ++rank) {
+      NodeId node = nodes[rank];
       Pick pick = select_for(kind, node);
       bool speculative_copy = false;
       if (pick.task == nullptr) {
@@ -267,6 +278,26 @@ void RupamScheduler::try_dispatch() {
       if (pick.task == nullptr) continue;
       bool use_gpu = pick.task->spec.gpu_accelerable && cluster().node(node).gpus().idle() > 0;
       bool as_copy = pick.gpu_race_copy;
+      if (audit_enabled()) {
+        // Bottleneck tag: the characterization that routed this task to a
+        // per-resource queue (Algorithm 1); for never-seen tasks the queue
+        // itself is the tag.
+        ResourceKind tag = kind;
+        if (const TaskCharRecord* rec =
+                db_.lookup(pick.task->spec.stage_name, pick.task->spec.partition)) {
+          tag = tm_.bottleneck(*rec);
+        }
+        Explain e;
+        e.reason = speculative_copy ? "rupam_speculative"
+                   : as_copy        ? "rupam_gpu_race"
+                                    : "rupam_heap_match";
+        e.detail = "tag=" + std::string(to_string(tag)) +
+                   " queue=" + std::string(to_string(kind)) +
+                   " rank=" + std::to_string(rank);
+        e.candidates = static_cast<int>(nodes.size());
+        e.candidate_nodes = nodes;
+        explain_next_launch(std::move(e));
+      }
       if (!launch_task(*pick.stage, *pick.task, node, use_gpu, as_copy, kind)) continue;
       if (as_copy) {
         if (speculative_copy) {

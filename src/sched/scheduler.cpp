@@ -138,7 +138,54 @@ Locality SchedulerBase::locality_for(const TaskSpec& spec, NodeId node) const {
   });
 }
 
+void SchedulerBase::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    launch_counters_ = {};
+    failure_counter_ = dispatch_counter_ = relocation_counter_ = nullptr;
+    blacklist_add_counter_ = blacklist_remove_counter_ = nullptr;
+    gc_seconds_counter_ = nullptr;
+    delay_histogram_ = runtime_histogram_ = nullptr;
+    return;
+  }
+  for (int l = 0; l < kNumLocalityLevels; ++l) {
+    for (int spec = 0; spec < 2; ++spec) {
+      launch_counters_[static_cast<std::size_t>(l * 2 + spec)] = &metrics->counter(
+          "rupam_sim_tasks_launched_total",
+          {{"locality", std::string(to_string(static_cast<Locality>(l)))},
+           {"speculative", spec != 0 ? "true" : "false"}},
+          "Task attempts launched by the scheduler");
+    }
+  }
+  failure_counter_ = &metrics->counter("rupam_sim_task_failures_total", {},
+                                       "Failed task attempts (OOM, executor loss)");
+  dispatch_counter_ = &metrics->counter("rupam_sim_dispatch_rounds_total", {},
+                                        "try_dispatch rounds executed");
+  relocation_counter_ = &metrics->counter("rupam_sim_task_relocations_total", {},
+                                          "Straggler relocations (kill + relaunch)");
+  blacklist_add_counter_ =
+      &metrics->counter("rupam_sim_blacklist_events_total", {{"action", "add"}},
+                        "Node blacklist additions and expiries");
+  blacklist_remove_counter_ =
+      &metrics->counter("rupam_sim_blacklist_events_total", {{"action", "remove"}},
+                        "Node blacklist additions and expiries");
+  gc_seconds_counter_ = &metrics->counter("rupam_sim_gc_seconds_total", {},
+                                          "Simulated GC time across successful attempts");
+  delay_histogram_ = &metrics->histogram("rupam_sim_scheduler_delay_seconds",
+                                         {0.01, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0}, {},
+                                         "Submit-to-launch delay of successful attempts");
+  runtime_histogram_ = &metrics->histogram("rupam_sim_task_runtime_seconds",
+                                           {1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0},
+                                           {}, "Runtime of successful attempts");
+}
+
+void SchedulerBase::explain_next_launch(Explain explain) {
+  if (audit_ == nullptr) return;
+  pending_explain_ = std::move(explain);
+  has_explain_ = true;
+}
+
 void SchedulerBase::submit(const TaskSet& task_set) {
+  OverheadProfiler::Scope profile(profiler_, ProfileSection::kEnqueue);
   task_set.validate();
   StageState stage;
   stage.set = task_set;
@@ -186,6 +233,7 @@ void SchedulerBase::fault_tolerance_tick() {
       trace(TraceEventType::kNodeUnblacklisted, -1, -1, 0, it->first, "blacklist expired");
       RUPAM_INFO(now, name(), ": node ", it->first, " un-blacklisted");
       ++unblacklist_count_;
+      if (blacklist_remove_counter_ != nullptr) blacklist_remove_counter_->inc();
       recent_failures_.erase(it->first);
       it = blacklisted_until_.erase(it);
       request_dispatch();
@@ -219,6 +267,7 @@ void SchedulerBase::note_node_failure(NodeId node) {
   if (!other_usable) return;
   blacklisted_until_[node] = now + fault_tolerance_.blacklist_duration;
   ++blacklist_count_;
+  if (blacklist_add_counter_ != nullptr) blacklist_add_counter_->inc();
   trace(TraceEventType::kNodeBlacklisted, -1, -1, 0, node,
         std::to_string(times.size()) + " failures in window");
   RUPAM_WARN(now, name(), ": node ", node, " blacklisted until ",
@@ -291,12 +340,21 @@ void SchedulerBase::request_dispatch() {
   dispatch_requested_ = true;
   sim().schedule_after(0.0, [this] {
     dispatch_requested_ = false;
+    ++dispatch_rounds_;
+    if (dispatch_counter_ != nullptr) dispatch_counter_->inc();
+    OverheadProfiler::Scope profile(profiler_, ProfileSection::kDispatch);
     try_dispatch();
   });
 }
 
 bool SchedulerBase::launch_task(StageState& stage, TaskState& task, NodeId node, bool use_gpu,
                                 bool speculative, ResourceKind kind) {
+  // Consume any staged rationale up front so a failed launch cannot leak
+  // its explanation onto the next (unrelated) launch.
+  Explain explain = std::move(pending_explain_);
+  bool explained = has_explain_;
+  has_explain_ = false;
+  pending_explain_ = Explain{};
   if (!node_usable(node)) return false;
   Executor* exec = executor(node);
   if (exec == nullptr || !exec->alive()) return false;
@@ -322,6 +380,37 @@ bool SchedulerBase::launch_task(StageState& stage, TaskState& task, NodeId node,
   if (handle == nullptr) return false;
 
   task.live.push_back(Attempt{attempt_id, node, opts.use_gpu, kind, handle});
+  ++launches_;
+  {
+    std::size_t idx = static_cast<std::size_t>(static_cast<int>(opts.locality)) * 2 +
+                      (speculative ? 1 : 0);
+    if (launch_counters_[idx] != nullptr) launch_counters_[idx]->inc();
+  }
+  if (audit_ != nullptr) {
+    DispatchDecision d;
+    d.time = sim().now();
+    d.scheduler = name();
+    d.stage = stage_id;
+    d.task = task.spec.id;
+    d.attempt = attempt_id;
+    d.node = node;
+    d.locality = opts.locality;
+    d.pool = pool_of(stage);
+    d.speculative = speculative;
+    d.queue = kind;
+    if (explained) {
+      d.reason = std::move(explain.reason);
+      d.detail = std::move(explain.detail);
+      d.candidates_considered = explain.candidates;
+      d.candidate_nodes = std::move(explain.candidate_nodes);
+    } else {
+      // Subclass gave no rationale (direct launch path): still auditable.
+      d.reason = speculative ? "speculative_copy" : "direct_launch";
+      d.candidates_considered = 1;
+      d.candidate_nodes = {node};
+    }
+    audit_->record(std::move(d));
+  }
   trace(speculative ? TraceEventType::kSpeculativeLaunched : TraceEventType::kTaskLaunched,
         stage_id, task.spec.id, attempt_id, node, std::string(to_string(opts.locality)));
   if (on_task_launch_) on_task_launch_(stage.set.job, sim().now());
@@ -346,6 +435,7 @@ bool SchedulerBase::relocate_task(StageState& stage, TaskState& task,
   task.live.clear();
   task.pending = true;
   ++relocations_;
+  if (relocation_counter_ != nullptr) relocation_counter_->inc();
   task_relaunchable(stage, task);
   request_dispatch();
   return true;
@@ -368,6 +458,9 @@ void SchedulerBase::handle_success(StageId stage_id, std::size_t task_index, Att
 
   trace(TraceEventType::kTaskFinished, stage_id, metrics.task, attempt, metrics.node,
         std::string(to_string(metrics.locality)), metrics.run_time());
+  if (delay_histogram_ != nullptr) delay_histogram_->observe(metrics.scheduler_delay);
+  if (runtime_histogram_ != nullptr) runtime_histogram_->observe(metrics.run_time());
+  if (gc_seconds_counter_ != nullptr) gc_seconds_counter_->inc(metrics.gc_time);
   completed_.push_back(metrics);
   stage.finished_runtimes.push_back(metrics.run_time());
   --stage.remaining;
@@ -408,6 +501,7 @@ void SchedulerBase::handle_failure(StageId stage_id, std::size_t task_index, Att
   failure.failure_reason = reason;
   failure.finish_time = sim().now();
   failed_.push_back(failure);
+  if (failure_counter_ != nullptr) failure_counter_->inc();
   trace(TraceEventType::kTaskFailed, stage_id, task.spec.id, attempt, kInvalidNode, reason);
 
   ++task.failures;

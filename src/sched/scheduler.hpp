@@ -8,6 +8,7 @@
 // submission, task completion/failure, heartbeat, executor restart.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
@@ -19,6 +20,9 @@
 #include "cluster/liveness.hpp"
 #include "exec/executor.hpp"
 #include "metrics/event_trace.hpp"
+#include "obs/audit.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/overhead.hpp"
 #include "sched/pool.hpp"
 #include "simcore/simulator.hpp"
 #include "tasks/locality.hpp"
@@ -89,6 +93,20 @@ class SchedulerBase {
   }
   /// Optional structured event trace (not owned; may be null).
   void set_trace(EventTrace* trace) { trace_ = trace; }
+  /// Optional metrics registry (not owned): binds this scheduler's series
+  /// (launch/failure counters, blacklist churn, delay/runtime histograms).
+  void set_metrics(MetricsRegistry* metrics);
+  /// Optional dispatch-decision audit (not owned). While attached, every
+  /// launch_task emits one DispatchDecision.
+  void set_audit(DecisionAudit* audit) { audit_ = audit; }
+  /// Optional host wall-clock profiler (not owned): times every
+  /// try_dispatch round and taskset submission.
+  void set_profiler(OverheadProfiler* profiler) { profiler_ = profiler; }
+
+  /// Task attempts launched (primary + speculative), all time.
+  std::size_t launches() const { return launches_; }
+  /// try_dispatch rounds executed.
+  std::size_t dispatch_rounds() const { return dispatch_rounds_; }
 
   /// Revive finished tasks whose map outputs were lost to a node crash; if
   /// the stage already drained, the partial stage is submitted afresh.
@@ -180,6 +198,25 @@ class SchedulerBase {
   /// settings to its ResourceMonitor).
   virtual void fault_tolerance_changed() {}
 
+  /// Placement rationale a subclass stages for the launch_task call it is
+  /// about to make (consumed by that call, success or failure). `reason`
+  /// is a stable token from the vocabulary in DESIGN.md §8; `detail`
+  /// carries scheduler-specific key=value context.
+  struct Explain {
+    std::string reason;
+    std::string detail;
+    int candidates = 0;
+    std::vector<NodeId> candidate_nodes;
+  };
+  /// Stage the rationale for the next launch_task. No-op (and the caller
+  /// should skip building strings) while auditing is off.
+  void explain_next_launch(Explain explain);
+  /// True when an audit sink is attached — schedulers gate rationale
+  /// string-building on this.
+  bool audit_enabled() const { return audit_ != nullptr; }
+  /// Attached profiler (may be null) for subclass-specific sections.
+  OverheadProfiler* profiler() const { return profiler_; }
+
   /// Launch an attempt of `task` on `node`. `speculative` marks extra
   /// copies (primary pending flag untouched). Returns false if the
   /// executor is down. `kind` tags the attempt for per-resource admission
@@ -231,6 +268,22 @@ class SchedulerBase {
   PartitionSuccessFn on_partition_success_;
   std::function<void(JobId, SimTime)> on_task_launch_;
   EventTrace* trace_ = nullptr;
+  DecisionAudit* audit_ = nullptr;
+  OverheadProfiler* profiler_ = nullptr;
+  Explain pending_explain_;
+  bool has_explain_ = false;
+  std::size_t launches_ = 0;
+  std::size_t dispatch_rounds_ = 0;
+  // Series bound once in set_metrics; null while metrics are off.
+  std::array<Counter*, kNumLocalityLevels * 2> launch_counters_{};
+  Counter* failure_counter_ = nullptr;
+  Counter* dispatch_counter_ = nullptr;
+  Counter* relocation_counter_ = nullptr;
+  Counter* blacklist_add_counter_ = nullptr;
+  Counter* blacklist_remove_counter_ = nullptr;
+  Counter* gc_seconds_counter_ = nullptr;
+  Histogram* delay_histogram_ = nullptr;
+  Histogram* runtime_histogram_ = nullptr;
   std::vector<TaskMetrics> completed_;
   std::vector<TaskMetrics> failed_;
   std::set<TaskId> speculated_;

@@ -62,6 +62,23 @@ void SparkScheduler::try_dispatch() {
       if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
       Candidate c = pick_task_for(node, ordered);
       if (c.task == nullptr) continue;
+      if (audit_enabled()) {
+        // The delay-scheduling story: which level the stage was allowed to
+        // relax to vs. the level actually taken on this offer.
+        Locality allowed = allowed_level(*c.stage);
+        Explain e;
+        e.reason = "spark_delay_scheduling";
+        e.detail = "allowed=" + std::string(to_string(allowed)) +
+                   " taken=" + std::string(to_string(c.locality));
+        std::vector<NodeId> offers;
+        for (NodeId n : ids) {
+          Executor* ne = executor(n);
+          if (ne != nullptr && ne->free_slots() > 0 && node_usable(n)) offers.push_back(n);
+        }
+        e.candidates = static_cast<int>(offers.size());
+        e.candidate_nodes = std::move(offers);
+        explain_next_launch(std::move(e));
+      }
       // Spark tries the GPU path whenever the application's library would
       // (it has no device awareness; contention falls back to CPU inside
       // the executor).
@@ -88,6 +105,16 @@ bool SparkScheduler::launch_speculative_copies() {
       Executor* exec = executor(node);
       if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
       if (task.has_attempt_on(node)) continue;  // copy must land elsewhere
+      if (audit_enabled()) {
+        Explain e;
+        e.reason = "spark_speculative";
+        e.detail = "straggler copy off node " + std::to_string(task.live.empty()
+                                                                   ? kInvalidNode
+                                                                   : task.live.front().node);
+        e.candidates = 1;
+        e.candidate_nodes = {node};
+        explain_next_launch(std::move(e));
+      }
       if (launch_task(stage, task, node, task.spec.gpu_accelerable, /*speculative=*/true)) {
         note_speculative_launch(task.spec.id);
         launched = true;

@@ -48,6 +48,19 @@ TEST(EventTrace, ClearResets) {
   trace.record(event(0.0, TraceEventType::kTaskLaunched));  // reusable
 }
 
+TEST(EventTrace, CsvEscapesDetailPerRfc4180) {
+  EventTrace trace;
+  TraceEvent e = event(1.0, TraceEventType::kFaultInjected);
+  e.detail = "crash@60,node=3 said \"down\"\r\nthen recovered";
+  trace.record(std::move(e));
+  std::ostringstream oss;
+  trace.write_csv(oss);
+  std::string out = oss.str();
+  // Commas, quotes, CR and LF all force quoting; quotes double.
+  EXPECT_NE(out.find("\"crash@60,node=3 said \"\"down\"\"\r\nthen recovered\""),
+            std::string::npos);
+}
+
 TEST(EventTrace, CsvHasHeaderAndRows) {
   EventTrace trace;
   trace.record(event(1.5, TraceEventType::kTaskFailed));

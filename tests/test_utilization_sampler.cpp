@@ -1,0 +1,102 @@
+// Edge cases for UtilizationSampler: zero-length runs, horizons shorter
+// than one sampling period, resampling alignment, and pause/resume rate
+// accounting. The happy paths live in test_metrics.cpp.
+#include <gtest/gtest.h>
+
+#include "cluster/presets.hpp"
+#include "metrics/utilization_sampler.hpp"
+
+namespace rupam {
+namespace {
+
+TEST(UtilizationSamplerEdge, ZeroLengthRunYieldsEmptySeries) {
+  Simulator sim;
+  Cluster cluster(sim);
+  NodeId id = cluster.add_node(thor_spec());
+  UtilizationSampler sampler(cluster, 1.0);
+  sampler.start();
+  sampler.stop();  // no simulated time elapsed
+  EXPECT_TRUE(sampler.cpu_util(id).empty());
+  EXPECT_DOUBLE_EQ(sampler.avg_cpu_util(), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.avg_net_rate(), 0.0);
+  // Resampling an empty series still produces the requested grid, zeroed.
+  auto series = sampler.cpu_series(0.0);
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(series[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0][0], 0.0);
+}
+
+TEST(UtilizationSamplerEdge, HorizonShorterThanOnePeriod) {
+  Simulator sim;
+  Cluster cluster(sim);
+  NodeId id = cluster.add_node(thor_spec());
+  UtilizationSampler sampler(cluster, 10.0);
+  sampler.start();
+  cluster.node(id).cpu().start(1000.0, 1.0, nullptr);
+  sim.run(3.0);  // stops before the first sample at t=10
+  sampler.stop();
+  EXPECT_TRUE(sampler.cpu_util(id).empty());
+  // A sub-period horizon gives exactly one (empty → zero) bucket.
+  auto series = sampler.cpu_series(3.0);
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(series[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0][0], 0.0);
+}
+
+TEST(UtilizationSamplerEdge, ResamplingAlignsSamplesToTheirBuckets) {
+  Simulator sim;
+  Cluster cluster(sim);
+  NodeId id = cluster.add_node(thor_spec());
+  UtilizationSampler sampler(cluster, 1.0);
+  sampler.start();
+  cluster.node(id).cpu().start(1.0e6, 1.0, nullptr);  // busy for the whole run
+  sim.run(4.5);  // samples at t = 1, 2, 3, 4
+  sampler.stop();
+  ASSERT_EQ(sampler.cpu_util(id).size(), 4u);
+  auto series = sampler.cpu_series(4.0);
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(series[0].size(), 5u);  // buckets [0,1) .. [4,5)
+  // No sample fell in [0,1): the bucket back-fills with zero.
+  EXPECT_DOUBLE_EQ(series[0][0], 0.0);
+  // Each later bucket holds exactly the sample taken at its left edge + 0.
+  double busy = sampler.cpu_util(id).points().front().value;
+  EXPECT_GT(busy, 0.0);
+  for (std::size_t b = 1; b < series[0].size(); ++b) {
+    EXPECT_DOUBLE_EQ(series[0][b], busy) << "bucket " << b;
+  }
+}
+
+TEST(UtilizationSamplerEdge, RestartExcludesTrafficDuringThePause) {
+  Simulator sim;
+  Cluster cluster(sim);
+  NodeId id = cluster.add_node(thor_spec());
+  UtilizationSampler sampler(cluster, 1.0);
+  sampler.start();
+  sim.schedule_at(3.5, [&] { sampler.stop(); });
+  // A transfer that happens entirely inside the pause window.
+  sim.schedule_at(4.0, [&] { cluster.node(id).net().start(gbit_per_s(0.1), 1.0, nullptr); });
+  sim.schedule_at(6.0, [&] { sampler.start(); });
+  sim.run(8.5);
+  sampler.stop();
+  // Samples at 1,2,3 then 7,8 — and none of them should see the paused
+  // transfer as a rate spike, because start() re-bases the byte counters.
+  EXPECT_EQ(sampler.net_rate(id).size(), 5u);
+  for (const auto& p : sampler.net_rate(id).points()) {
+    EXPECT_LT(p.value, gbit_per_s(0.01)) << "at t=" << p.time;
+  }
+}
+
+TEST(UtilizationSamplerEdge, DoubleStartIsIdempotent) {
+  Simulator sim;
+  Cluster cluster(sim);
+  NodeId id = cluster.add_node(thor_spec());
+  UtilizationSampler sampler(cluster, 1.0);
+  sampler.start();
+  sampler.start();  // must not double-schedule the sampling loop
+  sim.run(3.5);
+  sampler.stop();
+  EXPECT_EQ(sampler.cpu_util(id).size(), 3u);
+}
+
+}  // namespace
+}  // namespace rupam
