@@ -3,6 +3,7 @@
 #include <fstream>
 #include <optional>
 
+#include "cluster/fleet.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "faults/fault_plan.hpp"
@@ -15,6 +16,9 @@ std::string cli_usage() {
   return "usage: rupam_sim [options]\n"
          "  --workload NAME        LR|TeraSort|SQL|PR|TC|GM|KMeans (default PR)\n"
          "  --scheduler NAME       spark|rupam|stageaware|fifo (default rupam)\n"
+         "  --fleet PATH           JSON fleet spec: generate the cluster from node-class\n"
+         "                         mixes instead of the 12-node Hydra preset (schema in\n"
+         "                         DESIGN.md §9)\n"
          "  --iterations N         override the preset iteration count\n"
          "  --repetitions N        seeded repetitions, reports mean +- 95% CI\n"
          "  --seed N               base seed (default 1)\n"
@@ -42,11 +46,7 @@ std::string cli_usage() {
 }
 
 std::optional<SchedulerKind> scheduler_from_name(const std::string& name) {
-  if (name == "spark") return SchedulerKind::kSpark;
-  if (name == "rupam") return SchedulerKind::kRupam;
-  if (name == "stageaware") return SchedulerKind::kStageAware;
-  if (name == "fifo") return SchedulerKind::kFifo;
-  return std::nullopt;
+  return scheduler_kind_from_name(name);
 }
 
 std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::ostream& err) {
@@ -78,6 +78,9 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::o
         return std::nullopt;
       }
       opts.scheduler = *kind;
+    } else if (a == "--fleet") {
+      if (!need_value(i)) return std::nullopt;
+      opts.fleet = args[++i];
     } else if (a == "--iterations") {
       if (!need_value(i)) return std::nullopt;
       opts.iterations = std::atoi(args[++i].c_str());
@@ -172,6 +175,21 @@ bool has_suffix(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// Load --fleet and override the cluster layout; returns false (after
+/// writing to err) when the spec is unreadable or invalid.
+bool apply_fleet(SimulationConfig& cfg, const CliOptions& options, std::ostream& err) {
+  if (options.fleet.empty()) return true;
+  try {
+    FleetSpec spec = load_fleet_file(options.fleet);
+    cfg.nodes = generate_fleet(spec);
+    if (spec.switch_bandwidth > 0.0) cfg.switch_bandwidth = spec.switch_bandwidth;
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return false;
+  }
+  return true;
+}
+
 void apply_observability_flags(SimulationConfig& cfg, const CliOptions& options) {
   cfg.enable_metrics = !options.metrics_out.empty();
   cfg.enable_audit = !options.explain_out.empty();
@@ -226,6 +244,7 @@ int run_multi_tenant(const CliOptions& options, std::ostream& out, std::ostream&
   cfg.sample_utilization = options.sample_utilization;
   cfg.enable_trace = !options.trace_csv.empty() || !options.trace_chrome.empty();
   apply_observability_flags(cfg, options);
+  if (!apply_fleet(cfg, options, err)) return 2;
   if (!options.faults.empty()) {
     try {
       cfg.faults = parse_fault_spec(options.faults);
@@ -350,6 +369,7 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     cfg.sample_utilization = options.sample_utilization;
     cfg.enable_trace = !options.trace_csv.empty() || !options.trace_chrome.empty();
     apply_observability_flags(cfg, options);
+    if (!apply_fleet(cfg, options, err)) return 2;
     if (!options.faults.empty()) {
       try {
         cfg.faults = parse_fault_spec(options.faults);

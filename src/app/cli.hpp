@@ -16,6 +16,8 @@ struct CliOptions {
   std::string workload = "PR";    // Table III short name
   bool workload_explicit = false;  // user passed --workload
   SchedulerKind scheduler = SchedulerKind::kRupam;
+  /// JSON fleet-spec path (see cluster/fleet.hpp); empty = Hydra preset.
+  std::string fleet;
   int iterations = 0;  // 0 = preset default
   int repetitions = 1;
   std::uint64_t seed = 1;
@@ -42,7 +44,7 @@ struct CliOptions {
 
 /// Parse argv. Returns std::nullopt and writes a message to `err` on
 /// invalid input. Recognized flags:
-///   --workload NAME --scheduler spark|rupam|stageaware|fifo
+///   --workload NAME --scheduler spark|rupam|stageaware|fifo --fleet PATH
 ///   --iterations N --repetitions N --seed N --sample
 ///   --trace-csv PATH --trace-chrome PATH --trace-perfetto PATH
 ///   --metrics-out PATH --explain PATH --faults SPEC --chaos SEED
@@ -50,6 +52,7 @@ struct CliOptions {
 ///   --list --help
 std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::ostream& err);
 
+/// Thin forwarder to scheduler_kind_from_name (sched/factory.hpp).
 std::optional<SchedulerKind> scheduler_from_name(const std::string& name);
 
 /// Run per the options; returns the process exit code.

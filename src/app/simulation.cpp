@@ -8,16 +8,6 @@
 
 namespace rupam {
 
-std::string_view to_string(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::kSpark: return "Spark";
-    case SchedulerKind::kRupam: return "RUPAM";
-    case SchedulerKind::kStageAware: return "StageAware";
-    case SchedulerKind::kFifo: return "FIFO";
-  }
-  return "?";
-}
-
 std::vector<double> hdfs_placement_weights(const Cluster& cluster) {
   std::vector<double> weights;
   weights.reserve(cluster.size());
@@ -68,23 +58,11 @@ Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
   env.cluster = cluster_.get();
   for (auto& e : executors_) env.executors.push_back(e.get());
 
-  switch (config_.scheduler) {
-    case SchedulerKind::kRupam: {
-      auto sched = std::make_unique<RupamScheduler>(env, config_.rupam);
-      rupam_ = sched.get();
-      scheduler_ = std::move(sched);
-      break;
-    }
-    case SchedulerKind::kStageAware:
-      scheduler_ = std::make_unique<CapabilityScheduler>(env);
-      break;
-    case SchedulerKind::kFifo:
-      scheduler_ = std::make_unique<FifoScheduler>(env);
-      break;
-    case SchedulerKind::kSpark:
-      scheduler_ = std::make_unique<SparkScheduler>(env, config_.spark);
-      break;
-  }
+  SchedulerConfig sched_cfg;
+  sched_cfg.rupam = config_.rupam;
+  sched_cfg.spark = config_.spark;
+  scheduler_ = make_scheduler(config_.scheduler, std::move(env), sched_cfg);
+  rupam_ = dynamic_cast<RupamScheduler*>(scheduler_.get());
   scheduler_->configure_speculation(config_.speculation);
   scheduler_->configure_pools(config_.pools);
 
@@ -105,19 +83,21 @@ Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
   if (config_.sample_utilization) {
     sampler_ = std::make_unique<UtilizationSampler>(*cluster_, config_.sample_period);
   }
+  Observers observers;
   if (config_.enable_trace) {
     trace_ = std::make_unique<EventTrace>();
-    scheduler_->set_trace(trace_.get());
+    observers.trace = trace_.get();
   }
   if (config_.enable_metrics) {
     metrics_ = std::make_unique<MetricsRegistry>();
-    scheduler_->set_metrics(metrics_.get());
+    observers.metrics = metrics_.get();
     dag_->set_metrics(metrics_.get());
   }
   if (config_.enable_audit) {
     audit_ = std::make_unique<DecisionAudit>();
-    scheduler_->set_audit(audit_.get());
+    observers.audit = audit_.get();
   }
+  scheduler_->attach(observers);
   if (config_.enable_spans) {
     spans_ = std::make_unique<SpanTrace>();
     for (auto& e : executors_) e->set_span_trace(spans_.get());

@@ -25,22 +25,9 @@
 #include "obs/metrics_registry.hpp"
 #include "obs/overhead.hpp"
 #include "obs/spans.hpp"
-#include "sched/baselines/capability_scheduler.hpp"
-#include "sched/baselines/fifo_scheduler.hpp"
-#include "sched/rupam/rupam_scheduler.hpp"
-#include "sched/scheduler.hpp"
-#include "sched/spark/spark_scheduler.hpp"
+#include "sched/factory.hpp"
 
 namespace rupam {
-
-enum class SchedulerKind {
-  kSpark,       // the paper's baseline: locality-only, per-core slots
-  kRupam,       // the paper's contribution
-  kStageAware,  // prior-work proxy: heterogeneity-aware, stage-granular
-  kFifo,        // oblivious lower bound
-};
-
-std::string_view to_string(SchedulerKind kind);
 
 /// HDFS-style block placement weights: proportional to each node's
 /// storage capacity (pass to build_workload).
@@ -145,7 +132,9 @@ class Simulation {
   /// and the heartbeat pump (not owned; pass nullptr to detach).
   void set_profiler(OverheadProfiler* profiler) {
     profiler_ = profiler;
-    scheduler_->set_profiler(profiler);
+    Observers o = scheduler_->observers();
+    o.profiler = profiler;
+    scheduler_->attach(o);
   }
 
   std::size_t total_oom_kills() const;

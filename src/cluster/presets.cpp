@@ -1,5 +1,7 @@
 #include "cluster/presets.hpp"
 
+#include "cluster/fleet.hpp"
+
 namespace rupam {
 
 NodeSpec thor_spec() {
@@ -49,23 +51,7 @@ NodeSpec stack_spec() {
 }
 
 std::vector<NodeId> build_hydra(Cluster& cluster) {
-  std::vector<NodeId> ids;
-  for (int i = 0; i < 6; ++i) {
-    NodeSpec s = thor_spec();
-    s.name = "thor" + std::to_string(i + 1);
-    ids.push_back(cluster.add_node(std::move(s)));
-  }
-  for (int i = 0; i < 4; ++i) {
-    NodeSpec s = hulk_spec();
-    s.name = "hulk" + std::to_string(i + 1);
-    ids.push_back(cluster.add_node(std::move(s)));
-  }
-  for (int i = 0; i < 2; ++i) {
-    NodeSpec s = stack_spec();
-    s.name = "stack" + std::to_string(i + 1);
-    ids.push_back(cluster.add_node(std::move(s)));
-  }
-  return ids;
+  return build_fleet(cluster, hydra_fleet_spec());
 }
 
 std::vector<NodeId> build_motivation_pair(Cluster& cluster) {

@@ -1,0 +1,72 @@
+// Minimal JSON parser for configuration inputs (fleet specs). The repo
+// deliberately has no third-party dependencies, so this implements just
+// the JSON value model: objects, arrays, strings, numbers, bool, null.
+// Strict where it matters for config files — trailing garbage, duplicate
+// keys and malformed literals are errors with position information.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rupam {
+
+class JsonValue;
+
+/// Thrown on malformed input; `what()` carries a byte offset.
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// Ordered map keeps error messages and round-trips deterministic.
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object field lookup; returns nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(Array a);
+  static JsonValue make_object(Object o);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse one JSON document; throws JsonParseError on malformed input
+/// (including trailing non-whitespace and duplicate object keys).
+JsonValue parse_json(const std::string& text);
+
+}  // namespace rupam

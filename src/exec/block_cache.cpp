@@ -8,15 +8,20 @@ BlockCache::BlockCache(Bytes capacity) : capacity_(capacity) {
   if (capacity < 0.0) throw std::invalid_argument("BlockCache: negative capacity");
 }
 
+void BlockCache::notify(const std::string& key, bool present) {
+  if (listener_) listener_(key, present);
+}
+
 Bytes BlockCache::evict_for(Bytes needed) {
   Bytes evicted = 0.0;
   while (used_ + needed > capacity_ && !lru_.empty()) {
-    const std::string& victim = lru_.back();
+    std::string victim = lru_.back();
     auto it = entries_.find(victim);
     used_ -= it->second.size;
     evicted += it->second.size;
     entries_.erase(it);
     lru_.pop_back();
+    notify(victim, false);
   }
   evicted_total_ += evicted;
   return evicted;
@@ -26,7 +31,8 @@ Bytes BlockCache::put(const std::string& key, Bytes size) {
   if (size < 0.0) throw std::invalid_argument("BlockCache: negative block size");
   if (size > capacity_) return 0.0;  // uncacheable: Spark skips, no eviction storm
   auto it = entries_.find(key);
-  if (it != entries_.end()) {
+  bool refresh = it != entries_.end();
+  if (refresh) {
     used_ -= it->second.size;
     lru_.erase(it->second.lru_it);
     entries_.erase(it);
@@ -35,6 +41,7 @@ Bytes BlockCache::put(const std::string& key, Bytes size) {
   lru_.push_front(key);
   entries_.emplace(key, Entry{size, lru_.begin()});
   used_ += size;
+  if (!refresh) notify(key, true);  // refresh = no membership change
   return evicted;
 }
 
@@ -55,12 +62,15 @@ void BlockCache::remove(const std::string& key) {
   used_ -= it->second.size;
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
+  notify(key, false);
 }
 
 void BlockCache::clear() {
+  std::list<std::string> keys = std::move(lru_);
   lru_.clear();
   entries_.clear();
   used_ = 0.0;
+  for (const std::string& key : keys) notify(key, false);
 }
 
 }  // namespace rupam

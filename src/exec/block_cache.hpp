@@ -6,6 +6,7 @@
 // the executor heap size, the lever RUPAM's dynamic executor sizing pulls.
 #pragma once
 
+#include <functional>
 #include <list>
 #include <string>
 #include <unordered_map>
@@ -16,6 +17,12 @@ namespace rupam {
 
 class BlockCache {
  public:
+  /// Membership-change notification: fired once per key whose presence in
+  /// the cache changed (insert of a new key, eviction, remove, clear).
+  /// Refreshing an already-cached key fires nothing. Schedulers use this
+  /// to maintain a block → nodes inverse index without probing.
+  using ChangeListener = std::function<void(const std::string& key, bool present)>;
+
   explicit BlockCache(Bytes capacity);
 
   /// Insert (or refresh) a block, evicting LRU blocks to make room.
@@ -31,6 +38,8 @@ class BlockCache {
   void remove(const std::string& key);
   void clear();
 
+  void set_change_listener(ChangeListener listener) { listener_ = std::move(listener); }
+
   Bytes capacity() const { return capacity_; }
   Bytes used() const { return used_; }
   std::size_t blocks() const { return entries_.size(); }
@@ -43,7 +52,9 @@ class BlockCache {
   };
 
   Bytes evict_for(Bytes needed);
+  void notify(const std::string& key, bool present);
 
+  ChangeListener listener_;
   Bytes capacity_;
   Bytes used_ = 0.0;
   Bytes evicted_total_ = 0.0;

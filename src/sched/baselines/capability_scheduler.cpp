@@ -56,30 +56,43 @@ std::vector<NodeId> CapabilityScheduler::ranked_nodes(ResourceKind kind) const {
   return out;
 }
 
+std::vector<NodeId> CapabilityScheduler::ranked_free_nodes(ResourceKind kind) {
+  std::vector<std::pair<double, NodeId>> scored;
+  for_each_ready_node(0, [&](NodeId id, Executor& exec) {
+    NodeMetrics m = cluster().node(id).metrics();
+    scored.push_back(
+        {-m.capability(kind) * 1000.0 + static_cast<double>(exec.running_tasks()), id});
+    return true;
+  });
+  std::sort(scored.begin(), scored.end());
+  std::vector<NodeId> out(scored.size());
+  for (std::size_t i = 0; i < scored.size(); ++i) out[i] = scored[i].second;
+  return out;
+}
+
 void CapabilityScheduler::try_dispatch() {
+  if (stages_.empty()) return;
   bool progressed = true;
   while (progressed) {
     progressed = false;
     for (StageState* sp : schedulable_stages()) {
       StageState& stage = *sp;
-      ResourceKind kind = stage_bottleneck(stage.set.stage_name);
       // One placement per round: the best node with a free slot takes the
       // next pending task of this stage — locality is ignored entirely
       // ("nodes are ranked by capability, tasks are interchangeable").
-      std::vector<NodeId> ranked = ranked_nodes(kind);
+      TaskState* next = next_launchable(stage);
+      if (next == nullptr) continue;
+      ResourceKind kind = stage_bottleneck(stage.set.stage_name);
+      // The audit exposes the rank index and full candidate list, so only
+      // rank every node while an audit sink is attached; the fast path
+      // ranks just the maybe-free set (same comparator, same winner).
+      std::vector<NodeId> ranked =
+          audit_enabled() ? ranked_nodes(kind) : ranked_free_nodes(kind);
       for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
         NodeId node = ranked[rank];
         Executor* exec = executor(node);
         if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
         if (kind == ResourceKind::kGpu && cluster().node(node).gpus().idle() == 0) continue;
-        TaskState* next = nullptr;
-        for (auto& task : stage.tasks) {
-          if (launchable(task)) {
-            next = &task;
-            break;
-          }
-        }
-        if (next == nullptr) break;
         if (audit_enabled()) {
           Explain e;
           e.reason = "capability_rank";
@@ -102,7 +115,7 @@ void CapabilityScheduler::try_dispatch() {
     if (it == stages_.end()) continue;
     StageState& stage = it->second;
     TaskState& task = stage.tasks[task_index];
-    for (NodeId node : ranked_nodes(stage_bottleneck(stage.set.stage_name))) {
+    for (NodeId node : ranked_free_nodes(stage_bottleneck(stage.set.stage_name))) {
       Executor* exec = executor(node);
       if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
       if (task.has_attempt_on(node)) continue;

@@ -50,6 +50,10 @@ class CapabilityScheduler : public SchedulerBase {
  private:
   /// Nodes ordered best-first for `kind`, by static capability then load.
   std::vector<NodeId> ranked_nodes(ResourceKind kind) const;
+  /// Same ranking restricted to nodes with a free slot (the maybe-free
+  /// set) — the dispatch fast path. The comparator is identical, so the
+  /// first admissible node matches the full ranking's.
+  std::vector<NodeId> ranked_free_nodes(ResourceKind kind);
 
   Config config_;
   std::map<std::string, StageProfileEstimate> profiles_;

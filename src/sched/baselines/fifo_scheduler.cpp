@@ -3,29 +3,22 @@
 namespace rupam {
 
 void FifoScheduler::try_dispatch() {
-  auto ids = cluster().node_ids();
+  if (stages_.empty()) return;
+  std::size_t n = cluster().size();
   bool progressed = true;
   while (progressed) {
     progressed = false;
     std::vector<StageState*> ordered = schedulable_stages();
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      NodeId node = ids[(i + rotation_) % ids.size()];
-      Executor* exec = executor(node);
-      if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
+    NodeId start = static_cast<NodeId>(rotation_ % n);
+    for_each_ready_node(start, [&](NodeId node, Executor&) {
       for (StageState* sp : ordered) {
         StageState& stage = *sp;
-        TaskState* next = nullptr;
-        for (auto& task : stage.tasks) {
-          if (launchable(task)) {
-            next = &task;
-            break;
-          }
-        }
+        TaskState* next = next_launchable(stage);
         if (next == nullptr) continue;
         if (audit_enabled()) {
           Explain e;
           e.reason = "fifo_first_free_slot";
-          e.detail = "rotation=" + std::to_string(rotation_ % ids.size());
+          e.detail = "rotation=" + std::to_string(rotation_ % n);
           e.candidates = 1;
           e.candidate_nodes = {node};
           explain_next_launch(std::move(e));
@@ -36,7 +29,8 @@ void FifoScheduler::try_dispatch() {
         }
         break;  // earliest taskset in policy order only
       }
-    }
+      return true;  // one launch per node per pass
+    });
     ++rotation_;
   }
   for (auto [stage_id, task_index] : find_speculatable()) {
@@ -44,12 +38,8 @@ void FifoScheduler::try_dispatch() {
     if (it == stages_.end()) continue;
     StageState& stage = it->second;
     TaskState& task = stage.tasks[task_index];
-    for (NodeId node : ids) {
-      Executor* exec = executor(node);
-      if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node) ||
-          task.has_attempt_on(node)) {
-        continue;
-      }
+    for_each_ready_node(0, [&](NodeId node, Executor&) {
+      if (task.has_attempt_on(node)) return true;
       if (audit_enabled()) {
         Explain e;
         e.reason = "fifo_speculative";
@@ -59,9 +49,10 @@ void FifoScheduler::try_dispatch() {
       }
       if (launch_task(stage, task, node, task.spec.gpu_accelerable, /*speculative=*/true)) {
         note_speculative_launch(task.spec.id);
-        break;
+        return false;
       }
-    }
+      return true;
+    });
   }
 }
 

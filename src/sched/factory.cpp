@@ -1,0 +1,53 @@
+#include "sched/factory.hpp"
+
+#include <stdexcept>
+
+#include "sched/baselines/capability_scheduler.hpp"
+#include "sched/baselines/fifo_scheduler.hpp"
+
+namespace rupam {
+
+std::string_view to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kSpark: return "Spark";
+    case SchedulerKind::kRupam: return "RUPAM";
+    case SchedulerKind::kStageAware: return "StageAware";
+    case SchedulerKind::kFifo: return "FIFO";
+  }
+  return "?";
+}
+
+std::optional<SchedulerKind> scheduler_kind_from_name(const std::string& name) {
+  if (name == "spark") return SchedulerKind::kSpark;
+  if (name == "rupam") return SchedulerKind::kRupam;
+  if (name == "stageaware") return SchedulerKind::kStageAware;
+  if (name == "fifo") return SchedulerKind::kFifo;
+  return std::nullopt;
+}
+
+std::unique_ptr<SchedulerBase> make_scheduler(SchedulerKind kind, SchedulerEnv env,
+                                              const SchedulerConfig& config) {
+  switch (kind) {
+    case SchedulerKind::kRupam:
+      return std::make_unique<RupamScheduler>(std::move(env), config.rupam);
+    case SchedulerKind::kStageAware:
+      return std::make_unique<CapabilityScheduler>(std::move(env));
+    case SchedulerKind::kFifo:
+      return std::make_unique<FifoScheduler>(std::move(env));
+    case SchedulerKind::kSpark:
+      return std::make_unique<SparkScheduler>(std::move(env), config.spark);
+  }
+  throw std::invalid_argument("make_scheduler: unknown SchedulerKind");
+}
+
+std::unique_ptr<SchedulerBase> make_scheduler(const std::string& name, SchedulerEnv env,
+                                              const SchedulerConfig& config) {
+  std::optional<SchedulerKind> kind = scheduler_kind_from_name(name);
+  if (!kind) {
+    throw std::invalid_argument("make_scheduler: unknown scheduler '" + name +
+                                "' (expected spark|rupam|stageaware|fifo)");
+  }
+  return make_scheduler(*kind, std::move(env), config);
+}
+
+}  // namespace rupam

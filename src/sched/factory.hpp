@@ -1,0 +1,47 @@
+// Single construction point for every task scheduler. The rest of the
+// code base (Simulation, CLI, benches, tests) names schedulers via
+// SchedulerKind or the CLI string and calls make_scheduler — there are
+// no per-call-site if/switch construction chains.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sched/rupam/rupam_scheduler.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/spark/spark_scheduler.hpp"
+
+namespace rupam {
+
+enum class SchedulerKind {
+  kSpark,       // the paper's baseline: locality-only, per-core slots
+  kRupam,       // the paper's contribution
+  kStageAware,  // prior-work proxy: heterogeneity-aware, stage-granular
+  kFifo,        // oblivious lower bound
+};
+
+std::string_view to_string(SchedulerKind kind);
+
+/// Map a CLI name (spark|rupam|stageaware|fifo) to its kind; nullopt for
+/// unknown names.
+std::optional<SchedulerKind> scheduler_kind_from_name(const std::string& name);
+
+/// Per-scheduler tuning knobs. Schedulers only read their own section, so
+/// one struct can be shared across a whole experiment sweep.
+struct SchedulerConfig {
+  RupamConfig rupam;
+  SparkScheduler::Config spark;
+};
+
+/// Construct a scheduler of `kind` over `env`.
+std::unique_ptr<SchedulerBase> make_scheduler(SchedulerKind kind, SchedulerEnv env,
+                                              const SchedulerConfig& config = {});
+
+/// String-named variant for CLI-style call sites; throws
+/// std::invalid_argument on an unknown name.
+std::unique_ptr<SchedulerBase> make_scheduler(const std::string& name, SchedulerEnv env,
+                                              const SchedulerConfig& config = {});
+
+}  // namespace rupam

@@ -1,6 +1,7 @@
 #include "sched/rupam/rupam_scheduler.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/log.hpp"
 
@@ -9,7 +10,11 @@ namespace rupam {
 RupamScheduler::RupamScheduler(SchedulerEnv env, RupamConfig config)
     : SchedulerBase(std::move(env)),
       config_(config),
-      tm_(db_, TaskManagerConfig{config.res_factor, config.mem_queue_threshold}) {}
+      tm_(db_, TaskManagerConfig{config.res_factor, config.mem_queue_threshold}) {
+  for (NodeId id : cluster().node_ids()) {
+    if (cluster().node(id).gpus().total() > 0) gpu_nodes_.push_back(id);
+  }
+}
 
 void RupamScheduler::on_heartbeat(const NodeMetrics& metrics) {
   {
@@ -33,8 +38,21 @@ void RupamScheduler::stage_submitted(StageState& stage) {
   }
 }
 
-void RupamScheduler::task_succeeded(StageState&, TaskState& task, const TaskMetrics& metrics) {
+void RupamScheduler::task_pending_changed(StageState& stage, std::size_t index, bool pending) {
+  // Keep the TM queues in lock-step with the task's state: a launched
+  // task's refs park (the GPU queue still races them); a failed or
+  // relocated task's refs come back at their original queue positions.
+  if (pending) {
+    tm_.note_pending_again(stage.set.stage, index);
+  } else {
+    tm_.note_launched(stage.set.stage, index);
+  }
+}
+
+void RupamScheduler::task_succeeded(StageState& stage, TaskState& task,
+                                    const TaskMetrics& metrics) {
   tm_.record_completion(task.spec, metrics);
+  tm_.note_finished(stage.set.stage, static_cast<std::size_t>(&task - stage.tasks.data()));
   relocating_.erase(task.spec.id);
 }
 
@@ -55,18 +73,6 @@ void RupamScheduler::seed_monitor() {
   // dispatch round additionally refreshes the snapshot so admission checks
   // (memory guard, over-commit limits) never race a 1-second-stale view.
   for (NodeId id : cluster().node_ids()) rm_.record(cluster().node(id).metrics());
-}
-
-int RupamScheduler::running_of_kind(NodeId node, ResourceKind kind) const {
-  int count = 0;
-  for (const auto& [id, stage] : stages_) {
-    for (const auto& task : stage.tasks) {
-      for (const auto& attempt : task.live) {
-        if (attempt.node == node && attempt.kind == kind) ++count;
-      }
-    }
-  }
-  return count;
 }
 
 bool RupamScheduler::node_available(const NodeMetrics& metrics, ResourceKind kind) const {
@@ -91,7 +97,7 @@ bool RupamScheduler::node_available(const NodeMetrics& metrics, ResourceKind kin
   // shuffle-read phase still owns its future CPU slot. Over-commit comes
   // from admitting across queues — e.g. a core-saturated node still takes
   // disk-, net-, memory- or GPU-bound work (paper §III-C2).
-  int committed = running_of_kind(metrics.node, kind);
+  int committed = live_attempts(metrics.node, kind);
   switch (kind) {
     case ResourceKind::kCpu:
       return committed < node.spec().cores;
@@ -109,12 +115,17 @@ bool RupamScheduler::node_available(const NodeMetrics& metrics, ResourceKind kin
   return false;
 }
 
-RupamScheduler::Pick RupamScheduler::select_for(ResourceKind kind, NodeId node) {
-  auto& queue = tm_.queue(kind);
+bool RupamScheduler::any_idle_gpu() const {
+  for (NodeId id : gpu_nodes_) {
+    if (cluster().node(id).gpus().idle() > 0) return true;
+  }
+  return false;
+}
 
-  // Prune refs whose task is no longer waiting in this queue.
-  auto waiting = [this, kind](const TaskManager::PendingRef& ref,
-                              StageState** stage_out, TaskState** task_out, bool* race) {
+std::vector<RupamScheduler::Row> RupamScheduler::collect_rows(ResourceKind kind) {
+  std::vector<Row> rows;
+  auto resolve = [this](const TaskManager::PendingRef& ref, StageState** stage_out,
+                        TaskState** task_out) {
     auto it = stages_.find(ref.stage);
     if (it == stages_.end()) return false;
     StageState& stage = it->second;
@@ -123,61 +134,59 @@ RupamScheduler::Pick RupamScheduler::select_for(ResourceKind kind, NodeId node) 
     if (task.spec.id != ref.task || task.finished) return false;
     *stage_out = &stage;
     *task_out = &task;
-    *race = false;
-    if (launchable(task)) return true;
-    if (kind == ResourceKind::kGpu && config_.gpu_cpu_race && !task.live.empty() &&
-        !task.has_gpu_attempt()) {
-      // Task is racing on a CPU; a device opened up — launch the GPU copy.
-      *race = true;
-      return true;
-    }
-    return false;
+    return true;
   };
-
-  struct Row {
-    StageState* stage;
-    TaskState* task;
-    bool race;
-  };
-  std::vector<Row> rows;
-  std::vector<TaskManager::PendingRef> kept;
-  for (const auto& ref : queue) {
+  auto add = [&](const TaskManager::PendingRef& ref) {
     StageState* stage = nullptr;
     TaskState* task = nullptr;
-    bool race = false;
-    if (waiting(ref, &stage, &task, &race)) {
-      kept.push_back(ref);
-      rows.push_back(Row{stage, task, race});
-    } else if (stages_.count(ref.stage) > 0) {
-      StageState& s = stages_.at(ref.stage);
-      if (ref.task_index < s.tasks.size() && !s.tasks[ref.task_index].finished) {
-        kept.push_back(ref);  // running but may fail later; keep the ref
+    if (!resolve(ref, &stage, &task)) return;
+    note_task_checks(1);
+    if (launchable(*task)) {
+      rows.push_back(
+          Row{stage, task, false, db_.lookup(task->spec.stage_name, task->spec.partition)});
+      return;
+    }
+    if (kind == ResourceKind::kGpu && config_.gpu_cpu_race && !task->live.empty() &&
+        !task->has_gpu_attempt()) {
+      // Task is racing on a CPU; a device opened up — offer the GPU copy.
+      rows.push_back(
+          Row{stage, task, true, db_.lookup(task->spec.stage_name, task->spec.partition)});
+    }
+  };
+  const TaskManager::Queue& active = tm_.active(kind);
+  if (kind == ResourceKind::kGpu && config_.gpu_cpu_race) {
+    // Merge active and parked refs in enqueue order: a parked GPU ref is a
+    // task already racing on a CPU that a freed device may poach.
+    const TaskManager::Queue& parked = tm_.parked(kind);
+    auto ait = active.begin();
+    auto pit = parked.begin();
+    while (ait != active.end() || pit != parked.end()) {
+      if (pit == parked.end() || (ait != active.end() && ait->first < pit->first)) {
+        add((ait++)->second);
+      } else {
+        add((pit++)->second);
       }
     }
+  } else {
+    for (const auto& [seq, ref] : active) add(ref);
   }
-  queue = std::move(kept);
-
   // CPU round may also take pending GPU tasks when no device is idle
   // anywhere — the CPU side of the dual-run race (§III-C3, BLAS example).
-  if (kind == ResourceKind::kCpu && config_.gpu_cpu_race) {
-    bool any_idle_gpu = false;
-    for (NodeId id : cluster().node_ids()) {
-      if (cluster().node(id).gpus().idle() > 0) any_idle_gpu = true;
-    }
-    if (!any_idle_gpu) {
-      for (const auto& ref : tm_.queue(ResourceKind::kGpu)) {
-        auto it = stages_.find(ref.stage);
-        if (it == stages_.end()) continue;
-        StageState& stage = it->second;
-        if (ref.task_index >= stage.tasks.size()) continue;
-        TaskState& task = stage.tasks[ref.task_index];
-        if (task.spec.id != ref.task || !launchable(task)) continue;
-        rows.push_back(Row{&stage, &task, false});
-      }
+  if (kind == ResourceKind::kCpu && config_.gpu_cpu_race && !any_idle_gpu()) {
+    for (const auto& [seq, ref] : tm_.active(ResourceKind::kGpu)) {
+      StageState* stage = nullptr;
+      TaskState* task = nullptr;
+      if (!resolve(ref, &stage, &task)) continue;
+      note_task_checks(1);
+      if (!launchable(*task)) continue;
+      rows.push_back(
+          Row{stage, task, false, db_.lookup(task->spec.stage_name, task->spec.partition)});
     }
   }
-  if (rows.empty()) return {};
+  return rows;
+}
 
+RupamScheduler::Pick RupamScheduler::pick_from_rows(const std::vector<Row>& rows, NodeId node) {
   Bytes free_mem = cluster().node(node).free_memory();
   bool node_has_idle_gpu = cluster().node(node).gpus().idle() > 0;
   std::vector<DispatchTaskView> views;
@@ -188,7 +197,7 @@ RupamScheduler::Pick RupamScheduler::select_for(ResourceKind kind, NodeId node) 
     v.index = i;
     v.peak_memory = spec.total_memory();
     v.locality = locality_for(spec, node);
-    if (const TaskCharRecord* rec = db_.lookup(spec.stage_name, spec.partition)) {
+    if (const TaskCharRecord* rec = rows[i].rec) {
       // The best-node lock is meaningless for a GPU task when the node's
       // devices are all busy — its best runtime came from the GPU.
       if (!rec->gpu || node_has_idle_gpu) {
@@ -225,14 +234,14 @@ RupamScheduler::Pick RupamScheduler::select_for(ResourceKind kind, NodeId node) 
   return Pick{row.stage, row.task, row.race};
 }
 
-RupamScheduler::Pick RupamScheduler::select_speculative(ResourceKind kind, NodeId node) {
-  Bytes free_mem = cluster().node(node).free_memory();
+std::vector<RupamScheduler::SpecCandidate> RupamScheduler::collect_speculative(
+    ResourceKind kind) {
+  std::vector<SpecCandidate> out;
   for (auto [stage_id, task_index] : find_speculatable()) {
     auto it = stages_.find(stage_id);
     if (it == stages_.end()) continue;
     StageState& stage = it->second;
     TaskState& task = stage.tasks[task_index];
-    if (task.has_attempt_on(node)) continue;
     // Match the straggler's bottleneck to the resource round, so the copy
     // runs where that resource is most capable.
     ResourceKind bottleneck = ResourceKind::kCpu;
@@ -240,16 +249,48 @@ RupamScheduler::Pick RupamScheduler::select_speculative(ResourceKind kind, NodeI
       bottleneck = tm_.bottleneck(*rec);
     }
     if (bottleneck != kind) continue;
+    out.push_back(SpecCandidate{&stage, &task});
+  }
+  return out;
+}
+
+RupamScheduler::Pick RupamScheduler::pick_speculative(
+    const std::vector<SpecCandidate>& candidates, NodeId node) {
+  if (candidates.empty()) return {};
+  Bytes free_mem = cluster().node(node).free_memory();
+  for (const SpecCandidate& c : candidates) {
+    if (c.task->has_attempt_on(node)) continue;
     if (config_.memory_guard &&
-        task.spec.total_memory() + config_.memory_guard_headroom > free_mem) {
+        c.task->spec.total_memory() + config_.memory_guard_headroom > free_mem) {
       continue;
     }
-    return Pick{&stage, &task, /*gpu_race_copy=*/true};
+    return Pick{c.stage, c.task, /*gpu_race_copy=*/true};
   }
   return {};
 }
 
+bool RupamScheduler::dispatch_possible() const {
+  for (std::size_t k = 0; k < kNumResourceKinds; ++k) {
+    if (!tm_.active(static_cast<ResourceKind>(k)).empty()) return true;
+  }
+  // A parked GPU ref can still yield a race copy when a device frees up.
+  if (config_.gpu_cpu_race && !tm_.parked(ResourceKind::kGpu).empty()) return true;
+  if (speculation_.enabled) {
+    // Mirror of straggler_threshold()'s early-out: a stage can yield
+    // speculatables only once `quantile` of its tasks have finished.
+    for (const auto& [id, stage] : stages_) {
+      if (!stage.finished_runtimes.empty() &&
+          static_cast<double>(stage.finished_runtimes.size()) >=
+              speculation_.quantile * static_cast<double>(stage.tasks.size())) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 void RupamScheduler::try_dispatch() {
+  if (stages_.empty() || !dispatch_possible()) return;
   {
     OverheadProfiler::Scope profile(profiler(), ProfileSection::kHeapMaintenance);
     seed_monitor();
@@ -258,56 +299,68 @@ void RupamScheduler::try_dispatch() {
   int misses = 0;
   while (misses < kNumResourceKinds) {
     ResourceKind kind = round_robin_.next();
-    std::vector<NodeId> nodes;
-    {
-      OverheadProfiler::Scope profile(profiler(), ProfileSection::kHeapMaintenance);
-      nodes = rm_.ranked(
-          kind, [this, kind](const NodeMetrics& m) { return node_available(m, kind); });
-    }
-    // Walk the priority queue until a node accepts a task; launch at most
-    // one task per kind-visit so no resource type is starved.
+    // One row collection per kind-visit: no task state changes while the
+    // node walk runs (a launch breaks it), so per-node re-collection would
+    // repeat identical work for every ranked node.
+    std::vector<Row> rows = collect_rows(kind);
+    std::optional<std::vector<SpecCandidate>> speculative;
+    auto speculatable = [&]() -> const std::vector<SpecCandidate>& {
+      if (!speculative) speculative = collect_speculative(kind);
+      return *speculative;
+    };
     bool launched = false;
-    for (std::size_t rank = 0; rank < nodes.size(); ++rank) {
-      NodeId node = nodes[rank];
-      Pick pick = select_for(kind, node);
-      bool speculative_copy = false;
-      if (pick.task == nullptr) {
-        pick = select_speculative(kind, node);
-        speculative_copy = pick.task != nullptr;
+    if (!rows.empty() || !speculatable().empty()) {
+      std::vector<NodeId> nodes;
+      {
+        OverheadProfiler::Scope profile(profiler(), ProfileSection::kHeapMaintenance);
+        nodes = rm_.ranked(
+            kind, [this, kind](const NodeMetrics& m) { return node_available(m, kind); });
       }
-      if (pick.task == nullptr) continue;
-      bool use_gpu = pick.task->spec.gpu_accelerable && cluster().node(node).gpus().idle() > 0;
-      bool as_copy = pick.gpu_race_copy;
-      if (audit_enabled()) {
-        // Bottleneck tag: the characterization that routed this task to a
-        // per-resource queue (Algorithm 1); for never-seen tasks the queue
-        // itself is the tag.
-        ResourceKind tag = kind;
-        if (const TaskCharRecord* rec =
-                db_.lookup(pick.task->spec.stage_name, pick.task->spec.partition)) {
-          tag = tm_.bottleneck(*rec);
+      // Walk the priority queue until a node accepts a task; launch at
+      // most one task per kind-visit so no resource type is starved.
+      for (std::size_t rank = 0; rank < nodes.size(); ++rank) {
+        NodeId node = nodes[rank];
+        Pick pick = rows.empty() ? Pick{} : pick_from_rows(rows, node);
+        bool speculative_copy = false;
+        if (pick.task == nullptr) {
+          pick = pick_speculative(speculatable(), node);
+          speculative_copy = pick.task != nullptr;
         }
-        Explain e;
-        e.reason = speculative_copy ? "rupam_speculative"
-                   : as_copy        ? "rupam_gpu_race"
-                                    : "rupam_heap_match";
-        e.detail = "tag=" + std::string(to_string(tag)) +
-                   " queue=" + std::string(to_string(kind)) +
-                   " rank=" + std::to_string(rank);
-        e.candidates = static_cast<int>(nodes.size());
-        e.candidate_nodes = nodes;
-        explain_next_launch(std::move(e));
-      }
-      if (!launch_task(*pick.stage, *pick.task, node, use_gpu, as_copy, kind)) continue;
-      if (as_copy) {
-        if (speculative_copy) {
-          note_speculative_launch(pick.task->spec.id);
-        } else {
-          ++gpu_races_;
+        if (pick.task == nullptr) continue;
+        bool use_gpu =
+            pick.task->spec.gpu_accelerable && cluster().node(node).gpus().idle() > 0;
+        bool as_copy = pick.gpu_race_copy;
+        if (audit_enabled()) {
+          // Bottleneck tag: the characterization that routed this task to a
+          // per-resource queue (Algorithm 1); for never-seen tasks the queue
+          // itself is the tag.
+          ResourceKind tag = kind;
+          if (const TaskCharRecord* rec =
+                  db_.lookup(pick.task->spec.stage_name, pick.task->spec.partition)) {
+            tag = tm_.bottleneck(*rec);
+          }
+          Explain e;
+          e.reason = speculative_copy ? "rupam_speculative"
+                     : as_copy        ? "rupam_gpu_race"
+                                      : "rupam_heap_match";
+          e.detail = "tag=" + std::string(to_string(tag)) +
+                     " queue=" + std::string(to_string(kind)) +
+                     " rank=" + std::to_string(rank);
+          e.candidates = static_cast<int>(nodes.size());
+          e.candidate_nodes = nodes;
+          explain_next_launch(std::move(e));
         }
+        if (!launch_task(*pick.stage, *pick.task, node, use_gpu, as_copy, kind)) continue;
+        if (as_copy) {
+          if (speculative_copy) {
+            note_speculative_launch(pick.task->spec.id);
+          } else {
+            ++gpu_races_;
+          }
+        }
+        launched = true;
+        break;
       }
-      launched = true;
-      break;
     }
     misses = launched ? 0 : misses + 1;
   }

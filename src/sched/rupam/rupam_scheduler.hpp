@@ -9,10 +9,18 @@
 // Plus the §III-C mechanisms: utilization-based over-commit (a node is
 // available as long as the offered resource has headroom, not when a core
 // slot frees), memory-straggler relocation, and the CPU↔GPU dual-run race.
+//
+// Dispatch is indexed: per-resource admission reads the base scheduler's
+// live-attempt counters (O(1) per node instead of a scan over every
+// attempt), and the candidate rows for a kind-visit are collected once
+// from the TaskManager's active queue — within a kind-visit no task state
+// changes until a launch breaks the node walk, so the per-node rebuild of
+// the old code did identical work N times.
 #pragma once
 
 #include <map>
 #include <set>
+#include <vector>
 
 #include "sched/rupam/dispatcher.hpp"
 #include "sched/rupam/resource_monitor.hpp"
@@ -70,6 +78,7 @@ class RupamScheduler : public SchedulerBase {
   void try_dispatch() override;
   void fault_tolerance_changed() override;
   void stage_submitted(StageState& stage) override;
+  void task_pending_changed(StageState& stage, std::size_t index, bool pending) override;
   void task_succeeded(StageState& stage, TaskState& task, const TaskMetrics& metrics) override;
   void task_failed(StageState& stage, TaskState& task, const std::string& reason) override;
   void task_relaunchable(StageState& stage, TaskState& task) override;
@@ -80,17 +89,35 @@ class RupamScheduler : public SchedulerBase {
     TaskState* task = nullptr;
     bool gpu_race_copy = false;
   };
+  /// One candidate of a kind-visit: a waiting task (or a running CPU copy
+  /// the GPU queue may race) with its DB record resolved once.
+  struct Row {
+    StageState* stage = nullptr;
+    TaskState* task = nullptr;
+    bool race = false;
+    const TaskCharRecord* rec = nullptr;
+  };
+  struct SpecCandidate {
+    StageState* stage = nullptr;
+    TaskState* task = nullptr;
+  };
 
   /// Can `node` take one more task whose bottleneck is `kind`?
   bool node_available(const NodeMetrics& metrics, ResourceKind kind) const;
-  /// Live attempts on `node` dispatched from the `kind` queue.
-  int running_of_kind(NodeId node, ResourceKind kind) const;
-  /// Algorithm 2 over one resource queue for one node.
-  Pick select_for(ResourceKind kind, NodeId node);
-  /// Straggler path of Algorithm 2: schedule_task(speculativeTaskSet,
-  /// res, node) — only stragglers whose bottleneck matches `kind`, so a
-  /// CPU-bound straggler's copy lands on the CPU queue's best node.
-  Pick select_speculative(ResourceKind kind, NodeId node);
+  /// All rows the `kind` queue offers this kind-visit, in queue order:
+  /// active refs that are launchable, plus (GPU queue under racing) parked
+  /// refs whose running task a freed device may poach, plus (CPU queue
+  /// when no device is idle anywhere) the GPU queue's launchable refs.
+  std::vector<Row> collect_rows(ResourceKind kind);
+  /// Algorithm 2 over the collected rows for one node.
+  Pick pick_from_rows(const std::vector<Row>& rows, NodeId node);
+  /// Stragglers whose bottleneck matches `kind` (straggler path of
+  /// Algorithm 2), computed once per kind-visit.
+  std::vector<SpecCandidate> collect_speculative(ResourceKind kind);
+  Pick pick_speculative(const std::vector<SpecCandidate>& candidates, NodeId node);
+  /// Cheap pre-check: could any kind-visit possibly launch something?
+  bool dispatch_possible() const;
+  bool any_idle_gpu() const;
   void check_memory_straggler(const NodeMetrics& metrics);
   void seed_monitor();
 
@@ -100,6 +127,7 @@ class RupamScheduler : public SchedulerBase {
   ResourceMonitor rm_;
   ResourceRoundRobin round_robin_;
   std::size_t gpu_races_ = 0;
+  std::vector<NodeId> gpu_nodes_;  // nodes that physically carry devices
   std::set<TaskId> relocating_;  // guards repeated straggler kills per wave
   std::map<NodeId, SimTime> last_relocation_;  // per-node relocation rate limit
 };

@@ -58,21 +58,59 @@ std::vector<ResourceKind> TaskManager::classify(const TaskSpec& spec) const {
 }
 
 void TaskManager::enqueue(const TaskSpec& spec, StageId stage, std::size_t task_index) {
+  std::vector<Slot>& slots = slots_[{stage, task_index}];
   for (ResourceKind kind : classify(spec)) {
-    queues_[static_cast<std::size_t>(kind)].push_back(PendingRef{stage, task_index, spec.id});
+    std::uint64_t seq = next_seq_++;
+    active_[static_cast<std::size_t>(kind)].emplace(seq,
+                                                    PendingRef{stage, task_index, spec.id});
+    slots.push_back(Slot{kind, seq});
   }
 }
 
-std::vector<TaskManager::PendingRef>& TaskManager::queue(ResourceKind kind) {
-  return queues_[static_cast<std::size_t>(kind)];
+void TaskManager::note_launched(StageId stage, std::size_t task_index) {
+  auto it = slots_.find({stage, task_index});
+  if (it == slots_.end()) return;
+  for (const Slot& slot : it->second) {
+    Queue& from = active_[static_cast<std::size_t>(slot.kind)];
+    auto node = from.extract(slot.seq);
+    if (!node.empty()) parked_[static_cast<std::size_t>(slot.kind)].insert(std::move(node));
+  }
 }
 
-const std::vector<TaskManager::PendingRef>& TaskManager::queue(ResourceKind kind) const {
-  return queues_[static_cast<std::size_t>(kind)];
+void TaskManager::note_pending_again(StageId stage, std::size_t task_index) {
+  auto it = slots_.find({stage, task_index});
+  if (it == slots_.end()) return;
+  for (const Slot& slot : it->second) {
+    Queue& from = parked_[static_cast<std::size_t>(slot.kind)];
+    auto node = from.extract(slot.seq);
+    // Re-inserting under the original seq restores the queue position.
+    if (!node.empty()) active_[static_cast<std::size_t>(slot.kind)].insert(std::move(node));
+  }
+}
+
+void TaskManager::note_finished(StageId stage, std::size_t task_index) {
+  auto it = slots_.find({stage, task_index});
+  if (it == slots_.end()) return;
+  for (const Slot& slot : it->second) {
+    active_[static_cast<std::size_t>(slot.kind)].erase(slot.seq);
+    parked_[static_cast<std::size_t>(slot.kind)].erase(slot.seq);
+  }
+  slots_.erase(it);
+}
+
+const TaskManager::Queue& TaskManager::active(ResourceKind kind) const {
+  return active_[static_cast<std::size_t>(kind)];
+}
+
+const TaskManager::Queue& TaskManager::parked(ResourceKind kind) const {
+  return parked_[static_cast<std::size_t>(kind)];
 }
 
 void TaskManager::clear_queues() {
-  for (auto& q : queues_) q.clear();
+  for (auto& q : active_) q.clear();
+  for (auto& q : parked_) q.clear();
+  slots_.clear();
+  next_seq_ = 0;
 }
 
 void TaskManager::record_completion(const TaskSpec& spec, const TaskMetrics& metrics) {

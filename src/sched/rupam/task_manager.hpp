@@ -6,10 +6,21 @@
 //  * first-time map tasks are assumed bounded by every resource
 //    (enqueued in all queues);
 //  * first-time reduce/result tasks are assumed network-bound.
-// Queues are drained by the Dispatcher and reset between waves.
+//
+// Queues are kept incrementally instead of rebuilt per dispatch: each
+// queue splits into an *active* half (refs whose task is waiting) and a
+// *parked* half (refs whose task is running — kept because the attempt
+// may fail, and because the GPU queue races parked refs). Refs move
+// between halves on launch/failure under their original sequence number,
+// so restored refs keep their queue position. Row collection per
+// kind-visit is therefore O(active of that kind), not O(all unfinished
+// tasks).
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -33,6 +44,11 @@ class TaskManager {
     std::size_t task_index = 0;
     TaskId task = 0;
   };
+  /// Sequence number → ref, ordered by enqueue time. A task re-enqueued
+  /// after a failure legitimately holds several refs per queue (the old
+  /// restored ones plus the re-characterized ones), matching the paper's
+  /// "characterize again on retry" behaviour.
+  using Queue = std::map<std::uint64_t, PendingRef>;
 
   TaskManager(TaskCharDb& db, TaskManagerConfig config = {});
 
@@ -45,11 +61,19 @@ class TaskManager {
   /// Which queues a (re)submitted task belongs to.
   std::vector<ResourceKind> classify(const TaskSpec& spec) const;
 
-  /// Enqueue into all queues classify() names.
+  /// Enqueue into the active half of all queues classify() names.
   void enqueue(const TaskSpec& spec, StageId stage, std::size_t task_index);
 
-  std::vector<PendingRef>& queue(ResourceKind kind);
-  const std::vector<PendingRef>& queue(ResourceKind kind) const;
+  /// The task at (stage, task_index) started running: park its refs.
+  void note_launched(StageId stage, std::size_t task_index);
+  /// The task went back to pending (attempt failed / was relocated):
+  /// restore its parked refs at their original queue positions.
+  void note_pending_again(StageId stage, std::size_t task_index);
+  /// The task finished: drop every ref it holds.
+  void note_finished(StageId stage, std::size_t task_index);
+
+  const Queue& active(ResourceKind kind) const;
+  const Queue& parked(ResourceKind kind) const;
   void clear_queues();
 
   /// Fold a completed attempt into DB_task_char; marks the stage GPU when
@@ -60,9 +84,18 @@ class TaskManager {
   const TaskManagerConfig& config() const { return config_; }
 
  private:
+  struct Slot {
+    ResourceKind kind;
+    std::uint64_t seq;
+  };
+
   TaskCharDb& db_;
   TaskManagerConfig config_;
-  std::array<std::vector<PendingRef>, kNumResourceKinds> queues_;
+  std::array<Queue, kNumResourceKinds> active_;
+  std::array<Queue, kNumResourceKinds> parked_;
+  /// (stage, task_index) → every ref the task holds across queues.
+  std::map<std::pair<StageId, std::size_t>, std::vector<Slot>> slots_;
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace rupam

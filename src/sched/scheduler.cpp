@@ -26,18 +26,28 @@ SchedulerBase::SchedulerBase(SchedulerEnv env) : env_(std::move(env)) {
   if (env_.executors.size() != env_.cluster->size()) {
     throw std::invalid_argument("SchedulerBase: executor list must match cluster size");
   }
+  live_attempts_.assign(env_.executors.size(), {});
   for (Executor* e : env_.executors) {
     if (e == nullptr) throw std::invalid_argument("SchedulerBase: null executor");
-    e->set_ready_handler([this](ExecutorId) { request_dispatch(); });
+    NodeId node = e->node().id();
+    maybe_free_.insert(node);
+    e->set_ready_handler([this, node](ExecutorId) {
+      note_node_maybe_free(node);
+      request_dispatch();
+    });
     e->set_lost_handler([this, e](ExecutorId id) {
       trace(TraceEventType::kExecutorLost, -1, -1, 0, e->node().id(),
             "executor " + std::to_string(id) + " lost");
       request_dispatch();
     });
+    e->cache().set_change_listener([this, node](const std::string& key, bool present) {
+      on_cache_change(node, key, present);
+    });
   }
 }
 
 SchedulerBase::~SchedulerBase() {
+  for (Executor* e : env_.executors) e->cache().set_change_listener(nullptr);
   speculation_timer_.cancel();
   fault_tolerance_timer_.cancel();
 }
@@ -77,26 +87,26 @@ const std::string& SchedulerBase::pool_of(const StageState& stage) {
 }
 
 int SchedulerBase::pool_running_tasks(const std::string& pool) const {
-  int running = 0;
-  for (const auto& [id, stage] : stages_) {
-    if (pool_of(stage) != pool) continue;
-    for (const auto& task : stage.tasks) running += static_cast<int>(task.live.size());
-  }
-  return running;
+  auto it = pool_running_.find(pool);
+  return it == pool_running_.end() ? 0 : it->second;
 }
 
 std::vector<std::string> SchedulerBase::fair_pool_order() const {
+  // Live-attempt counts come from the incrementally maintained per-pool
+  // tally — a live attempt always belongs to an active stage (stages are
+  // erased only once fully drained), so this matches summing over stages_.
   std::map<std::string, PoolSnapshot> snapshots;
   for (const auto& [id, stage] : stages_) {
     const std::string& name = pool_of(stage);
-    PoolSnapshot& snap = snapshots[name];
-    if (snap.name.empty()) {
+    auto [it, inserted] = snapshots.try_emplace(name);
+    if (inserted) {
+      PoolSnapshot& snap = it->second;
       snap.name = name;
       const PoolSpec& spec = pools_.spec(name);
       snap.weight = spec.weight;
       snap.min_share = spec.min_share;
+      snap.running = pool_running_tasks(name);
     }
-    for (const auto& task : stage.tasks) snap.running += static_cast<int>(task.live.size());
   }
   std::vector<PoolSnapshot> pools;
   pools.reserve(snapshots.size());
@@ -138,7 +148,44 @@ Locality SchedulerBase::locality_for(const TaskSpec& spec, NodeId node) const {
   });
 }
 
+void SchedulerBase::attach(const Observers& observers) {
+  observers_ = observers;
+  trace_ = observers.trace;
+  audit_ = observers.audit;
+  profiler_ = observers.profiler;
+  bind_metrics(observers.metrics);
+}
+
+// Deprecated forwarders: update one field of the attached set. Defined
+// out of line so the [[deprecated]] declarations don't warn here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+void SchedulerBase::set_trace(EventTrace* trace) {
+  Observers o = observers_;
+  o.trace = trace;
+  attach(o);
+}
+
 void SchedulerBase::set_metrics(MetricsRegistry* metrics) {
+  Observers o = observers_;
+  o.metrics = metrics;
+  attach(o);
+}
+
+void SchedulerBase::set_audit(DecisionAudit* audit) {
+  Observers o = observers_;
+  o.audit = audit;
+  attach(o);
+}
+
+void SchedulerBase::set_profiler(OverheadProfiler* profiler) {
+  Observers o = observers_;
+  o.profiler = profiler;
+  attach(o);
+}
+#pragma GCC diagnostic pop
+
+void SchedulerBase::bind_metrics(MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     launch_counters_ = {};
     failure_counter_ = dispatch_counter_ = relocation_counter_ = nullptr;
@@ -196,6 +243,7 @@ void SchedulerBase::submit(const TaskSet& task_set) {
     TaskState ts;
     ts.spec = spec;
     ts.submit_time = sim().now();
+    stage.pending_index.insert(stage.pending_index.end(), stage.tasks.size());
     stage.tasks.push_back(std::move(ts));
   }
   auto [it, inserted] = stages_.emplace(task_set.stage, std::move(stage));
@@ -218,6 +266,7 @@ void SchedulerBase::on_heartbeat(const NodeMetrics& metrics) {
   if (fault_tolerance_.enabled && liveness_.heartbeat(metrics.node, sim().now())) {
     trace(TraceEventType::kNodeRecovered, -1, -1, 0, metrics.node, "heartbeats resumed");
     RUPAM_INFO(sim().now(), name(), ": node ", metrics.node, " recovered (heartbeats resumed)");
+    note_node_maybe_free(metrics.node);
   }
   request_dispatch();
 }
@@ -235,6 +284,7 @@ void SchedulerBase::fault_tolerance_tick() {
       ++unblacklist_count_;
       if (blacklist_remove_counter_ != nullptr) blacklist_remove_counter_->inc();
       recent_failures_.erase(it->first);
+      note_node_maybe_free(it->first);
       it = blacklisted_until_.erase(it);
       request_dispatch();
     } else {
@@ -305,12 +355,13 @@ void SchedulerBase::resubmit(const TaskSet& task_set) {
       ++stage.remaining;
       trace(TraceEventType::kPartitionResubmitted, task_set.stage, spec.id, 0, kInvalidNode,
             "grafted into partial stage");
+      set_task_pending(stage, stage.tasks.size() - 1, true);
       task_relaunchable(stage, stage.tasks.back());
       continue;
     }
     if (!found->finished) continue;  // already being recomputed
     found->finished = false;
-    found->pending = true;
+    set_task_pending(stage, static_cast<std::size_t>(found - stage.tasks.data()), true);
     found->not_before = sim().now();
     ++stage.remaining;
     trace(TraceEventType::kPartitionResubmitted, task_set.stage, spec.id, 0, kInvalidNode,
@@ -341,6 +392,12 @@ void SchedulerBase::request_dispatch() {
   sim().schedule_after(0.0, [this] {
     dispatch_requested_ = false;
     ++dispatch_rounds_;
+    ++dispatch_work_.rounds;
+    // What the pre-index O(nodes × tasks) sweep would have cost this round
+    // — the baseline the indexed work counters are measured against.
+    std::size_t total_tasks = 0;
+    for (const auto& [id, stage] : stages_) total_tasks += stage.tasks.size();
+    dispatch_work_.full_scan_equivalent += cluster().size() * total_tasks;
     if (dispatch_counter_ != nullptr) dispatch_counter_->inc();
     OverheadProfiler::Scope profile(profiler_, ProfileSection::kDispatch);
     try_dispatch();
@@ -380,6 +437,7 @@ bool SchedulerBase::launch_task(StageState& stage, TaskState& task, NodeId node,
   if (handle == nullptr) return false;
 
   task.live.push_back(Attempt{attempt_id, node, opts.use_gpu, kind, handle});
+  note_attempt_started(node, kind, stage);
   ++launches_;
   {
     std::size_t idx = static_cast<std::size_t>(static_cast<int>(opts.locality)) * 2 +
@@ -414,7 +472,7 @@ bool SchedulerBase::launch_task(StageState& stage, TaskState& task, NodeId node,
   trace(speculative ? TraceEventType::kSpeculativeLaunched : TraceEventType::kTaskLaunched,
         stage_id, task.spec.id, attempt_id, node, std::string(to_string(opts.locality)));
   if (on_task_launch_) on_task_launch_(stage.set.job, sim().now());
-  if (!speculative) task.pending = false;
+  if (!speculative) set_task_pending(stage, task_index, false);
   stage.last_launch = sim().now();
   RUPAM_DEBUG(sim().now(), name(), ": launched task ", task.spec.id, " attempt ", attempt_id,
               " on node ", node, speculative ? " (speculative)" : "",
@@ -429,11 +487,13 @@ bool SchedulerBase::relocate_task(StageState& stage, TaskState& task,
   auto live = task.live;
   for (auto& attempt : live) {
     attempt.exec->kill(reason, /*notify=*/false);
+    note_attempt_ended(attempt.node, attempt.kind, stage);
+    note_node_maybe_free(attempt.node);
   }
   trace(TraceEventType::kTaskRelocated, stage.set.stage, task.spec.id,
         task.live.front().id, task.live.front().node, reason);
   task.live.clear();
-  task.pending = true;
+  set_task_pending(stage, static_cast<std::size_t>(&task - stage.tasks.data()), true);
   ++relocations_;
   if (relocation_counter_ != nullptr) relocation_counter_->inc();
   task_relaunchable(stage, task);
@@ -447,13 +507,24 @@ void SchedulerBase::handle_success(StageId stage_id, std::size_t task_index, Att
   if (it == stages_.end()) return;
   StageState& stage = it->second;
   TaskState& task = stage.tasks.at(task_index);
-  // Drop this attempt from the live list.
+  // Drop this attempt from the live list (its slot is free now either way,
+  // even when a sibling copy already won).
+  for (const auto& a : task.live) {
+    if (a.id != attempt) continue;
+    note_attempt_ended(a.node, a.kind, stage);
+    note_node_maybe_free(a.node);
+    break;
+  }
   std::erase_if(task.live, [attempt](const Attempt& a) { return a.id == attempt; });
   if (task.finished) return;  // a sibling copy already won
   task.finished = true;
-  task.pending = false;
+  set_task_pending(stage, task_index, false);
   // First finisher wins: abort the losing copies (Spark kills them).
-  for (auto& other : task.live) other.exec->kill("attempt superseded", /*notify=*/false);
+  for (auto& other : task.live) {
+    other.exec->kill("attempt superseded", /*notify=*/false);
+    note_attempt_ended(other.node, other.kind, stage);
+    note_node_maybe_free(other.node);
+  }
   task.live.clear();
 
   trace(TraceEventType::kTaskFinished, stage_id, metrics.task, attempt, metrics.node,
@@ -470,6 +541,7 @@ void SchedulerBase::handle_success(StageId stage_id, std::size_t task_index, Att
   }
   if (stage.remaining == 0) {
     RUPAM_DEBUG(sim().now(), name(), ": stage ", stage_id, " drained");
+    stage_removed(stage);
     stages_.erase(stage_id);
   }
   request_dispatch();
@@ -485,6 +557,8 @@ void SchedulerBase::handle_failure(StageId stage_id, std::size_t task_index, Att
   for (const auto& a : task.live) {
     if (a.id == attempt) {
       failed_node = a.node;
+      note_attempt_ended(a.node, a.kind, stage);
+      note_node_maybe_free(a.node);
       break;
     }
   }
@@ -507,7 +581,7 @@ void SchedulerBase::handle_failure(StageId stage_id, std::size_t task_index, Att
   ++task.failures;
   RUPAM_INFO(sim().now(), name(), ": task ", task.spec.id, " attempt ", attempt, " failed (",
              reason, "), failure #", task.failures);
-  if (task.live.empty()) task.pending = true;  // relaunch
+  if (task.live.empty()) set_task_pending(stage, task_index, true);  // relaunch
   // Exponential retry backoff: a crash-looping task (e.g. OOM on a packed
   // node) must not be re-stuffed into the same wave instantly.
   task.not_before =
@@ -554,6 +628,93 @@ std::vector<std::pair<StageId, std::size_t>> SchedulerBase::find_speculatable() 
 void SchedulerBase::note_speculative_launch(TaskId task) {
   speculated_.insert(task);
   ++straggler_copies_;
+}
+
+void SchedulerBase::set_task_pending(StageState& stage, std::size_t index, bool pending) {
+  stage.tasks[index].pending = pending;
+  bool changed = pending ? stage.pending_index.insert(index).second
+                         : stage.pending_index.erase(index) > 0;
+  if (changed) task_pending_changed(stage, index, pending);
+}
+
+SchedulerBase::TaskState* SchedulerBase::next_launchable(StageState& stage) {
+  SimTime now = sim().now();
+  for (std::size_t index : stage.pending_index) {
+    ++dispatch_work_.task_checks;
+    TaskState& task = stage.tasks[index];
+    if (now < task.not_before) continue;  // retry backoff
+    return &task;
+  }
+  return nullptr;
+}
+
+void SchedulerBase::note_node_maybe_free(NodeId node) {
+  if (node < 0 || static_cast<std::size_t>(node) >= env_.executors.size()) return;
+  maybe_free_.insert(node);
+}
+
+void SchedulerBase::for_each_ready_node(NodeId start,
+                                        const std::function<bool(NodeId, Executor&)>& visit) {
+  // Two arcs of the NodeId ring: [start, end) then [begin, start). Nodes
+  // with no free slot (or a dead executor) are dropped lazily; unusable
+  // nodes stay — blacklist expiry is timed, so eviction would make the set
+  // lose its superset invariant.
+  auto sweep = [&](std::set<NodeId>::iterator it, std::set<NodeId>::iterator end) {
+    while (it != end) {
+      NodeId node = *it;
+      Executor* exec = executor(node);
+      if (exec == nullptr || !exec->alive() || exec->free_slots() <= 0) {
+        it = maybe_free_.erase(it);
+        continue;
+      }
+      ++it;
+      if (!node_usable(node)) continue;
+      ++dispatch_work_.node_visits;
+      if (!visit(node, *exec)) return false;
+    }
+    return true;
+  };
+  if (!sweep(maybe_free_.lower_bound(start), maybe_free_.end())) return;
+  sweep(maybe_free_.begin(), maybe_free_.lower_bound(start));
+}
+
+int SchedulerBase::live_attempts(NodeId node, ResourceKind kind) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= live_attempts_.size()) return 0;
+  return live_attempts_[static_cast<std::size_t>(node)][static_cast<std::size_t>(kind)];
+}
+
+void SchedulerBase::note_attempt_started(NodeId node, ResourceKind kind,
+                                         const StageState& stage) {
+  if (node >= 0 && static_cast<std::size_t>(node) < live_attempts_.size()) {
+    ++live_attempts_[static_cast<std::size_t>(node)][static_cast<std::size_t>(kind)];
+  }
+  ++pool_running_[pool_of(stage)];
+}
+
+void SchedulerBase::note_attempt_ended(NodeId node, ResourceKind kind,
+                                       const StageState& stage) {
+  if (node >= 0 && static_cast<std::size_t>(node) < live_attempts_.size()) {
+    --live_attempts_[static_cast<std::size_t>(node)][static_cast<std::size_t>(kind)];
+  }
+  --pool_running_[pool_of(stage)];
+}
+
+const std::set<NodeId>* SchedulerBase::nodes_caching(const std::string& key) const {
+  auto it = cache_locations_.find(key);
+  return it == cache_locations_.end() ? nullptr : &it->second;
+}
+
+void SchedulerBase::on_cache_change(NodeId node, const std::string& key, bool present) {
+  if (present) {
+    cache_locations_[key].insert(node);
+  } else {
+    auto it = cache_locations_.find(key);
+    if (it != cache_locations_.end()) {
+      it->second.erase(node);
+      if (it->second.empty()) cache_locations_.erase(it);
+    }
+  }
+  cache_block_changed(node, key, present);
 }
 
 }  // namespace rupam

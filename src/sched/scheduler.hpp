@@ -45,6 +45,23 @@ struct SpeculationConfig {
   double multiplier = 1.5;   // straggler = runtime > multiplier * median
 };
 
+/// Every observation sink a scheduler can feed, in one struct. None are
+/// owned; a null field means "detached". Build one Observers and pass it
+/// to SchedulerBase::attach instead of calling the legacy per-sink
+/// setters (which survive as deprecated forwarders for one release).
+struct Observers {
+  /// Structured scheduling-event trace.
+  EventTrace* trace = nullptr;
+  /// Metrics registry: binds the scheduler's series (launch/failure
+  /// counters, blacklist churn, delay/runtime histograms).
+  MetricsRegistry* metrics = nullptr;
+  /// Dispatch-decision audit: one DispatchDecision per launch_task.
+  DecisionAudit* audit = nullptr;
+  /// Host wall-clock profiler: times every try_dispatch round and
+  /// taskset submission.
+  OverheadProfiler* profiler = nullptr;
+};
+
 /// Node-level fault tolerance: missed-heartbeat liveness plus failure
 /// blacklisting (Spark's spark.blacklist.*). Disabled by default — as in
 /// Spark 2.2 — so fault-free runs schedule no extra timer events and stay
@@ -91,17 +108,15 @@ class SchedulerBase {
   void set_launch_observer(std::function<void(JobId, SimTime)> fn) {
     on_task_launch_ = std::move(fn);
   }
-  /// Optional structured event trace (not owned; may be null).
-  void set_trace(EventTrace* trace) { trace_ = trace; }
-  /// Optional metrics registry (not owned): binds this scheduler's series
-  /// (launch/failure counters, blacklist churn, delay/runtime histograms).
-  void set_metrics(MetricsRegistry* metrics);
-  /// Optional dispatch-decision audit (not owned). While attached, every
-  /// launch_task emits one DispatchDecision.
-  void set_audit(DecisionAudit* audit) { audit_ = audit; }
-  /// Optional host wall-clock profiler (not owned): times every
-  /// try_dispatch round and taskset submission.
-  void set_profiler(OverheadProfiler* profiler) { profiler_ = profiler; }
+  /// Attach (or detach, with null fields) every observation sink at once.
+  void attach(const Observers& observers);
+  const Observers& observers() const { return observers_; }
+
+  /// Deprecated single-sink forwarders — use attach(Observers) instead.
+  [[deprecated("use attach(Observers)")]] void set_trace(EventTrace* trace);
+  [[deprecated("use attach(Observers)")]] void set_metrics(MetricsRegistry* metrics);
+  [[deprecated("use attach(Observers)")]] void set_audit(DecisionAudit* audit);
+  [[deprecated("use attach(Observers)")]] void set_profiler(OverheadProfiler* profiler);
 
   /// Task attempts launched (primary + speculative), all time.
   std::size_t launches() const { return launches_; }
@@ -133,6 +148,18 @@ class SchedulerBase {
   /// speculative copies) — the fair-share "running cores" input.
   int pool_running_tasks(const std::string& pool) const;
 
+  /// Dispatch-cost accounting for the indexed hot paths. `node_visits` and
+  /// `task_checks` count actual work done inside try_dispatch rounds;
+  /// `full_scan_equivalent` accumulates what the pre-index O(nodes × tasks)
+  /// sweep would have cost per round, so the ratio is the speedup.
+  struct DispatchWorkCounters {
+    std::size_t rounds = 0;
+    std::size_t node_visits = 0;
+    std::size_t task_checks = 0;
+    std::size_t full_scan_equivalent = 0;
+  };
+  const DispatchWorkCounters& dispatch_work() const { return dispatch_work_; }
+
  protected:
   struct Attempt {
     AttemptId id = 0;
@@ -163,6 +190,9 @@ class SchedulerBase {
     std::vector<TaskState> tasks;
     std::size_t remaining = 0;
     std::vector<double> finished_runtimes;
+    /// Indices with pending && !finished, ascending. Tasks in retry
+    /// backoff stay in the set (filtered at query time by launchable()).
+    std::set<std::size_t> pending_index;
     // Spark delay-scheduling state.
     int allowed_locality = 0;
     SimTime last_launch = 0.0;
@@ -193,6 +223,20 @@ class SchedulerBase {
   }
   virtual void task_relaunchable(StageState& stage, TaskState& task) {
     (void)stage, (void)task;
+  }
+  /// Fired whenever a task's membership in stage.pending_index changes
+  /// (launch clears it, failure/relocation/resubmit restore it). Not fired
+  /// for the initial population at submit — build stage indexes in
+  /// stage_submitted instead.
+  virtual void task_pending_changed(StageState& stage, std::size_t index, bool pending) {
+    (void)stage, (void)index, (void)pending;
+  }
+  /// Fired just before a drained stage is erased from stages_.
+  virtual void stage_removed(StageState& stage) { (void)stage; }
+  /// Fired when block `key` appears on / disappears from `node`'s cache
+  /// (after cache_locations_ was updated).
+  virtual void cache_block_changed(NodeId node, const std::string& key, bool present) {
+    (void)node, (void)key, (void)present;
   }
   /// Called after configure_fault_tolerance (RUPAM forwards the liveness
   /// settings to its ResourceMonitor).
@@ -235,6 +279,41 @@ class SchedulerBase {
   Simulator& sim() const { return *env_.sim; }
   Cluster& cluster() const { return *env_.cluster; }
 
+  /// Lowest-index launchable task of `stage`, via pending_index — the
+  /// indexed equivalent of "first launchable task scanning from 0".
+  /// Backoff tasks are skipped (and counted as task_checks).
+  TaskState* next_launchable(StageState& stage);
+
+  /// Visit nodes that may have a free slot, in NodeId ring order starting
+  /// at `start`, until `visit` returns false. Nodes whose executor is down
+  /// or slot-full are lazily dropped from the candidate set (they re-enter
+  /// via note_node_maybe_free); unusable (dead/blacklisted) nodes are
+  /// skipped but kept, since un-blacklisting is time-based, not evented.
+  /// Equivalent to the pre-index `ids[(i + rotation) % n]` sweep
+  /// restricted to nodes that pass the free/alive checks.
+  void for_each_ready_node(NodeId start, const std::function<bool(NodeId, Executor&)>& visit);
+  /// Superset of the nodes with a free slot (lazy deletion — callers must
+  /// re-check free_slots/alive/usable at use).
+  const std::set<NodeId>& maybe_free_nodes() const { return maybe_free_; }
+  /// Re-add `node` to the maybe-free set (slot may have opened).
+  void note_node_maybe_free(NodeId node);
+
+  /// Live attempts dispatched from `kind`'s queue currently on `node` —
+  /// O(1) replacement for scanning every stage's attempt lists (RUPAM
+  /// admission accounting).
+  int live_attempts(NodeId node, ResourceKind kind) const;
+
+  /// Executors caching block `key` right now (null if none). Maintained
+  /// incrementally from BlockCache change events.
+  const std::set<NodeId>* nodes_caching(const std::string& key) const;
+
+  /// True if `task` already received its one speculative copy.
+  bool already_speculated(TaskId task) const { return speculated_.count(task) > 0; }
+
+  /// Work accounting inside try_dispatch (see DispatchWorkCounters).
+  void note_node_visit() { ++dispatch_work_.node_visits; }
+  void note_task_checks(std::size_t n) { dispatch_work_.task_checks += n; }
+
   /// Coalesced dispatch request.
   void request_dispatch();
 
@@ -262,11 +341,23 @@ class SchedulerBase {
   void speculation_tick();
   void fault_tolerance_tick();
 
+  /// Set task.pending, keep stage.pending_index in sync, and fire
+  /// task_pending_changed when set membership actually changed.
+  void set_task_pending(StageState& stage, std::size_t index, bool pending);
+  void on_cache_change(NodeId node, const std::string& key, bool present);
+  void note_attempt_started(NodeId node, ResourceKind kind, const StageState& stage);
+  void note_attempt_ended(NodeId node, ResourceKind kind, const StageState& stage);
+
   void trace(TraceEventType type, StageId stage, TaskId task, AttemptId attempt, NodeId node,
              std::string detail, SimTime duration = 0.0);
 
+  void bind_metrics(MetricsRegistry* metrics);
+
   PartitionSuccessFn on_partition_success_;
   std::function<void(JobId, SimTime)> on_task_launch_;
+  /// Attached sinks; trace_/audit_/profiler_ mirror observers_ for the
+  /// hot paths (metrics are consumed via the bound series pointers).
+  Observers observers_;
   EventTrace* trace_ = nullptr;
   DecisionAudit* audit_ = nullptr;
   OverheadProfiler* profiler_ = nullptr;
@@ -287,6 +378,16 @@ class SchedulerBase {
   std::vector<TaskMetrics> completed_;
   std::vector<TaskMetrics> failed_;
   std::set<TaskId> speculated_;
+  /// Superset of nodes with a free slot (lazy deletion; see
+  /// for_each_ready_node).
+  std::set<NodeId> maybe_free_;
+  /// Per-node live-attempt counts by dispatch kind.
+  std::vector<std::array<int, kNumResourceKinds>> live_attempts_;
+  /// Live attempts per pool (fair-share "running cores").
+  std::map<std::string, int> pool_running_;
+  /// Block key → nodes caching it (from BlockCache change events).
+  std::map<std::string, std::set<NodeId>> cache_locations_;
+  DispatchWorkCounters dispatch_work_;
   std::size_t straggler_copies_ = 0;
   std::size_t relocations_ = 0;
   bool dispatch_requested_ = false;

@@ -11,69 +11,174 @@ SparkScheduler::SparkScheduler(SchedulerEnv env) : SparkScheduler(std::move(env)
 SparkScheduler::SparkScheduler(SchedulerEnv env, Config config)
     : SchedulerBase(std::move(env)), config_(config) {}
 
-Locality SparkScheduler::allowed_level(StageState& stage) const {
+void SparkScheduler::rebuild_levels(StageIdx& idx) {
+  idx.levels.clear();
+  if (idx.any_cached) idx.levels.push_back(Locality::kProcessLocal);
+  if (idx.any_preferred) idx.levels.push_back(Locality::kNodeLocal);
+  idx.levels.push_back(Locality::kAny);
+}
+
+void SparkScheduler::index_task(StageState& stage, StageIdx& idx, std::size_t i) {
+  const TaskSpec& spec = stage.tasks[i].spec;
+  for (NodeId n : spec.preferred_nodes) idx.prefer[n].insert(i);
+  if (!spec.input_cache_key.empty()) {
+    idx.by_key[spec.input_cache_key].insert(i);
+    if (const std::set<NodeId>* nodes = nodes_caching(spec.input_cache_key)) {
+      for (NodeId n : *nodes) idx.cached[n].insert(i);
+    }
+  }
+  bool widened = (!spec.input_cache_key.empty() && !idx.any_cached) ||
+                 (!spec.preferred_nodes.empty() && !idx.any_preferred);
+  idx.any_cached = idx.any_cached || !spec.input_cache_key.empty();
+  idx.any_preferred = idx.any_preferred || !spec.preferred_nodes.empty();
+  if (widened) rebuild_levels(idx);
+}
+
+void SparkScheduler::deindex_task(StageState& stage, StageIdx& idx, std::size_t i) {
+  const TaskSpec& spec = stage.tasks[i].spec;
+  for (NodeId n : spec.preferred_nodes) {
+    auto it = idx.prefer.find(n);
+    if (it == idx.prefer.end()) continue;
+    it->second.erase(i);
+    if (it->second.empty()) idx.prefer.erase(it);
+  }
+  if (spec.input_cache_key.empty()) return;
+  auto kit = idx.by_key.find(spec.input_cache_key);
+  if (kit != idx.by_key.end()) {
+    kit->second.erase(i);
+    if (kit->second.empty()) idx.by_key.erase(kit);
+  }
+  if (const std::set<NodeId>* nodes = nodes_caching(spec.input_cache_key)) {
+    for (NodeId n : *nodes) {
+      auto it = idx.cached.find(n);
+      if (it == idx.cached.end()) continue;
+      it->second.erase(i);
+      if (it->second.empty()) idx.cached.erase(it);
+    }
+  }
+}
+
+void SparkScheduler::stage_submitted(StageState& stage) {
+  StageIdx& idx = index_[stage.set.stage];
+  for (std::size_t i = 0; i < stage.tasks.size(); ++i) index_task(stage, idx, i);
+  rebuild_levels(idx);
+}
+
+void SparkScheduler::stage_removed(StageState& stage) { index_.erase(stage.set.stage); }
+
+void SparkScheduler::task_pending_changed(StageState& stage, std::size_t index, bool pending) {
+  auto it = index_.find(stage.set.stage);
+  if (it == index_.end()) return;
+  if (pending) {
+    index_task(stage, it->second, index);
+  } else {
+    deindex_task(stage, it->second, index);
+  }
+}
+
+void SparkScheduler::cache_block_changed(NodeId node, const std::string& key, bool present) {
+  for (auto& [sid, idx] : index_) {
+    auto kit = idx.by_key.find(key);
+    if (kit == idx.by_key.end()) continue;
+    if (present) {
+      auto& bucket = idx.cached[node];
+      for (std::size_t i : kit->second) bucket.insert(i);
+    } else {
+      auto cit = idx.cached.find(node);
+      if (cit == idx.cached.end()) continue;
+      for (std::size_t i : kit->second) cit->second.erase(i);
+      if (cit->second.empty()) idx.cached.erase(cit);
+    }
+  }
+}
+
+Locality SparkScheduler::allowed_level(const StageState& stage, const StageIdx& idx) const {
   // Walk the stage's achievable levels; each level is granted
   // `locality_wait` seconds since the last launch before relaxing.
-  std::vector<Locality> levels = valid_locality_levels(stage.set);
   SimTime reference = std::max(stage.submit_time, stage.last_launch);
   SimTime waited = sim().now() - reference;
   auto hops = config_.locality_wait > 0.0
                   ? static_cast<std::size_t>(waited / config_.locality_wait)
-                  : levels.size();
-  std::size_t idx = std::min(hops, levels.size() - 1);
-  return levels[idx];
+                  : idx.levels.size();
+  std::size_t i = std::min(hops, idx.levels.size() - 1);
+  return idx.levels[i];
+}
+
+SparkScheduler::Candidate SparkScheduler::indexed_pick(StageState& stage, StageIdx& idx,
+                                                       NodeId node, Locality allowed) {
+  // Tier 1: tasks whose input block is cached on this node (PROCESS_LOCAL).
+  auto cit = idx.cached.find(node);
+  if (cit != idx.cached.end()) {
+    for (std::size_t i : cit->second) {
+      note_task_checks(1);
+      TaskState& task = stage.tasks[i];
+      if (launchable(task)) return Candidate{&stage, &task, Locality::kProcessLocal};
+    }
+  }
+  // Tier 2: preferred-node tasks. Any launchable entry here that were also
+  // cache-local would have been returned by tier 1, so these are exactly
+  // NODE_LOCAL on this node.
+  if (locality_at_least(Locality::kNodeLocal, allowed)) {
+    auto pit = idx.prefer.find(node);
+    if (pit != idx.prefer.end()) {
+      for (std::size_t i : pit->second) {
+        note_task_checks(1);
+        TaskState& task = stage.tasks[i];
+        if (launchable(task)) return Candidate{&stage, &task, Locality::kNodeLocal};
+      }
+    }
+  }
+  // Tier 3: any pending task. With tiers 1–2 drained, every launchable
+  // task left is ANY on this node.
+  if (allowed == Locality::kAny) {
+    if (TaskState* task = next_launchable(stage)) {
+      return Candidate{&stage, task, Locality::kAny};
+    }
+  }
+  return Candidate{};
 }
 
 SparkScheduler::Candidate SparkScheduler::pick_task_for(
     NodeId node, const std::vector<StageState*>& ordered) {
-  Candidate best;
   for (StageState* sp : ordered) {  // cross-job pool-policy order
     StageState& stage = *sp;
-    Locality allowed = allowed_level(stage);
-    Candidate stage_best;
-    for (auto& task : stage.tasks) {
-      if (!launchable(task)) continue;
-      Locality loc = locality_for(task.spec, node);
-      if (!locality_at_least(loc, allowed)) continue;
-      if (stage_best.task == nullptr ||
-          static_cast<int>(loc) < static_cast<int>(stage_best.locality)) {
-        stage_best = Candidate{&stage, &task, loc};
-      }
-      if (stage_best.locality == Locality::kProcessLocal) break;
-    }
-    if (stage_best.task != nullptr) return stage_best;  // first taskset in policy order
+    auto it = index_.find(stage.set.stage);
+    if (it == index_.end()) continue;
+    Candidate c = indexed_pick(stage, it->second, node, allowed_level(stage, it->second));
+    if (c.task != nullptr) return c;  // first taskset in policy order
   }
-  return best;
+  return Candidate{};
 }
 
 void SparkScheduler::try_dispatch() {
-  auto ids = cluster().node_ids();
+  if (stages_.empty()) return;
+  std::size_t n = cluster().size();
   bool progressed = true;
   while (progressed) {
     progressed = false;
     // Re-rank tasksets each offer round: under FAIR the launches of the
     // previous round shift every pool's share.
     std::vector<StageState*> ordered = schedulable_stages();
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      // Rotate the starting node between rounds: Spark shuffles offers so
-      // one node does not soak up every wave.
-      NodeId node = ids[(i + offer_rotation_) % ids.size()];
-      Executor* exec = executor(node);
-      if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
+    // Rotate the starting node between rounds: Spark shuffles offers so
+    // one node does not soak up every wave.
+    NodeId start = static_cast<NodeId>(offer_rotation_ % n);
+    for_each_ready_node(start, [&](NodeId node, Executor&) {
       Candidate c = pick_task_for(node, ordered);
-      if (c.task == nullptr) continue;
+      if (c.task == nullptr) return true;
       if (audit_enabled()) {
         // The delay-scheduling story: which level the stage was allowed to
         // relax to vs. the level actually taken on this offer.
-        Locality allowed = allowed_level(*c.stage);
+        Locality allowed = allowed_level(*c.stage, index_.at(c.stage->set.stage));
         Explain e;
         e.reason = "spark_delay_scheduling";
         e.detail = "allowed=" + std::string(to_string(allowed)) +
                    " taken=" + std::string(to_string(c.locality));
         std::vector<NodeId> offers;
-        for (NodeId n : ids) {
-          Executor* ne = executor(n);
-          if (ne != nullptr && ne->free_slots() > 0 && node_usable(n)) offers.push_back(n);
+        for (NodeId cand : cluster().node_ids()) {
+          Executor* ne = executor(cand);
+          if (ne != nullptr && ne->free_slots() > 0 && node_usable(cand)) {
+            offers.push_back(cand);
+          }
         }
         e.candidates = static_cast<int>(offers.size());
         e.candidate_nodes = std::move(offers);
@@ -86,7 +191,8 @@ void SparkScheduler::try_dispatch() {
                       /*speculative=*/false)) {
         progressed = true;
       }
-    }
+      return true;
+    });
     ++offer_rotation_;
   }
   if (launch_speculative_copies()) {
@@ -101,10 +207,8 @@ bool SparkScheduler::launch_speculative_copies() {
     if (it == stages_.end()) continue;
     StageState& stage = it->second;
     TaskState& task = stage.tasks[task_index];
-    for (NodeId node : cluster().node_ids()) {
-      Executor* exec = executor(node);
-      if (exec == nullptr || exec->free_slots() <= 0 || !node_usable(node)) continue;
-      if (task.has_attempt_on(node)) continue;  // copy must land elsewhere
+    for_each_ready_node(0, [&](NodeId node, Executor&) {
+      if (task.has_attempt_on(node)) return true;  // copy must land elsewhere
       if (audit_enabled()) {
         Explain e;
         e.reason = "spark_speculative";
@@ -118,9 +222,10 @@ bool SparkScheduler::launch_speculative_copies() {
       if (launch_task(stage, task, node, task.spec.gpu_accelerable, /*speculative=*/true)) {
         note_speculative_launch(task.spec.id);
         launched = true;
-        break;
+        return false;
       }
-    }
+      return true;
+    });
   }
   return launched;
 }

@@ -4,6 +4,8 @@
 
 #include "app/simulation.hpp"
 #include "cluster/presets.hpp"
+#include "sched/baselines/capability_scheduler.hpp"
+#include "sched/baselines/fifo_scheduler.hpp"
 #include "workloads/presets.hpp"
 
 namespace rupam {

@@ -120,11 +120,40 @@ TEST(TaskManager, QueuesEnqueueAndClear) {
   TaskCharDb db;
   TaskManager tm(db);
   tm.enqueue(spec_named("m", 0, true), 1, 0);
-  EXPECT_EQ(tm.queue(ResourceKind::kCpu).size(), 1u);
-  EXPECT_EQ(tm.queue(ResourceKind::kNetwork).size(), 1u);
-  EXPECT_EQ(tm.queue(ResourceKind::kGpu).size(), 0u);
+  EXPECT_EQ(tm.active(ResourceKind::kCpu).size(), 1u);
+  EXPECT_EQ(tm.active(ResourceKind::kNetwork).size(), 1u);
+  EXPECT_EQ(tm.active(ResourceKind::kGpu).size(), 0u);
   tm.clear_queues();
-  EXPECT_EQ(tm.queue(ResourceKind::kCpu).size(), 0u);
+  EXPECT_EQ(tm.active(ResourceKind::kCpu).size(), 0u);
+}
+
+TEST(TaskManager, ParkAndRestorePreservesQueuePosition) {
+  TaskCharDb db;
+  TaskManager tm(db);
+  tm.enqueue(spec_named("m", 0, true), 1, 0);
+  tm.enqueue(spec_named("m", 1, true), 1, 1);
+  tm.enqueue(spec_named("m", 2, true), 1, 2);
+  ASSERT_EQ(tm.active(ResourceKind::kCpu).size(), 3u);
+
+  // Launch the head task: its refs park in every queue they occupy.
+  tm.note_launched(1, 0);
+  EXPECT_EQ(tm.active(ResourceKind::kCpu).size(), 2u);
+  EXPECT_EQ(tm.parked(ResourceKind::kCpu).size(), 1u);
+  EXPECT_EQ(tm.parked(ResourceKind::kNetwork).size(), 1u);
+
+  // A failure restores the refs at their original (front) position.
+  tm.note_pending_again(1, 0);
+  ASSERT_EQ(tm.active(ResourceKind::kCpu).size(), 3u);
+  EXPECT_EQ(tm.parked(ResourceKind::kCpu).size(), 0u);
+  EXPECT_EQ(tm.active(ResourceKind::kCpu).begin()->second.task_index, 0u);
+
+  // Finishing drops every ref, parked or active.
+  tm.note_launched(1, 1);
+  tm.note_finished(1, 1);
+  tm.note_finished(1, 0);
+  EXPECT_EQ(tm.active(ResourceKind::kCpu).size(), 1u);
+  EXPECT_EQ(tm.parked(ResourceKind::kCpu).size(), 0u);
+  EXPECT_EQ(tm.active(ResourceKind::kCpu).begin()->second.task_index, 2u);
 }
 
 TEST(TaskCharDb, LookupMissReturnsNull) {
