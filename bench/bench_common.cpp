@@ -1,8 +1,11 @@
 #include "bench_common.hpp"
 
+#include <sys/resource.h>
+
 #include <fstream>
 
 #include "common/json_writer.hpp"
+#include "simcore/kernel_stats.hpp"
 
 namespace rupam::bench {
 
@@ -34,6 +37,13 @@ std::string gb(double bytes) { return format_fixed(bytes / kGiB, 2); }
 
 std::string pct(double fraction) { return format_fixed(fraction * 100.0, 1); }
 
+double peak_rss_mib() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  // ru_maxrss is KiB on Linux.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
 JsonReport::JsonReport(std::string name) : path_("BENCH_" + std::move(name) + ".json") {}
 
 void JsonReport::add(const std::string& key, double value) {
@@ -56,10 +66,26 @@ bool JsonReport::write() const {
     std::cerr << "cannot write " << path_ << "\n";
     return false;
   }
+  // Standard memory/allocation footer appended to every report: peak RSS
+  // plus the process-wide kernel counters (see simcore/kernel_stats.hpp).
+  const KernelStats& ks = kernel_stats();
+  std::vector<std::pair<std::string, std::string>> all = entries_;
+  all.emplace_back("peak_rss_mib", json_number(peak_rss_mib()));
+  all.emplace_back("sim_events_scheduled", json_number(static_cast<double>(ks.events_scheduled)));
+  all.emplace_back("sim_events_executed", json_number(static_cast<double>(ks.events_executed)));
+  all.emplace_back("sim_events_cancelled", json_number(static_cast<double>(ks.events_cancelled)));
+  all.emplace_back("sim_arena_slot_allocs", json_number(static_cast<double>(ks.arena_slot_allocs)));
+  all.emplace_back("sim_callback_heap_allocs",
+                   json_number(static_cast<double>(ks.callback_heap_allocs)));
+  double queue_allocs = static_cast<double>(ks.arena_slot_allocs + ks.callback_heap_allocs);
+  all.emplace_back("sim_queue_allocs_per_event",
+                   json_number(ks.events_executed > 0
+                                   ? queue_allocs / static_cast<double>(ks.events_executed)
+                                   : 0.0));
   f << "{\n";
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    f << "  " << json_quote(entries_[i].first) << ": " << entries_[i].second
-      << (i + 1 < entries_.size() ? "," : "") << "\n";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    f << "  " << json_quote(all[i].first) << ": " << all[i].second
+      << (i + 1 < all.size() ? "," : "") << "\n";
   }
   f << "}\n";
   std::cout << "[json] wrote " << path_ << "\n";

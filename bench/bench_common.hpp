@@ -29,6 +29,10 @@ Comparison compare(const WorkloadPreset& preset, int repetitions = 5,
 std::string gb(double bytes);
 std::string pct(double fraction);
 
+/// Peak resident set size of this process in MiB (getrusage), 0 if
+/// unavailable.
+double peak_rss_mib();
+
 /// Machine-readable sidecar next to a bench's stdout tables: a flat
 /// key→value JSON object written to BENCH_<name>.json in the working
 /// directory, so CI and plotting scripts don't have to scrape tables.
@@ -43,6 +47,9 @@ class JsonReport {
 
   const std::string& path() const { return path_; }
   /// Returns false (and prints to stderr) when the file cannot be written.
+  /// Every report is stamped with standard memory fields — peak RSS and the
+  /// kernel's event-queue allocation counters — so the BENCH_*.json perf
+  /// trajectory captures memory behaviour, not just wall time.
   bool write() const;
 
  private:

@@ -28,6 +28,7 @@
 
 #include "bench_common.hpp"
 #include "cluster/fleet.hpp"
+#include "simcore/kernel_stats.hpp"
 #include "workloads/presets.hpp"
 
 namespace {
@@ -38,9 +39,11 @@ struct RunResult {
   int nodes = 0;
   std::string scheduler;
   double makespan = 0.0;
-  double wall_ms = 0.0;
+  double wall_ms = 0.0;  // kernel wall time: wraps sim.run() only
   std::size_t events = 0;
   std::size_t launches = 0;
+  std::size_t peak_queue = 0;
+  std::uint64_t queue_allocs = 0;  // arena growth + callback SBO misses
   rupam::SchedulerBase::DispatchWorkCounters work;
 
   double scan_reduction() const {
@@ -95,14 +98,19 @@ int main(int argc, char** argv) {
                          /*iterations_override=*/0, hdfs_placement_weights(sim.cluster()));
 
       std::cerr << "[scale_fleet] N=" << n << " " << sim.scheduler().name() << " ...\n";
+      const KernelStats before = kernel_stats();
       auto t0 = std::chrono::steady_clock::now();
       RunResult r;
       r.makespan = sim.run(app);
       auto t1 = std::chrono::steady_clock::now();
+      const KernelStats after = kernel_stats();
       r.nodes = n;
       r.scheduler = sim.scheduler().name();
       r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
       r.events = sim.sim().executed_events();
+      r.peak_queue = sim.sim().peak_pending_events();
+      r.queue_allocs = (after.arena_slot_allocs - before.arena_slot_allocs) +
+                       (after.callback_heap_allocs - before.callback_heap_allocs);
       r.launches = sim.scheduler().launches();
       r.work = sim.scheduler().dispatch_work();
       if (r.wall_ms > budget_s * 1000.0) over_budget = true;
@@ -123,6 +131,10 @@ int main(int argc, char** argv) {
                    format_fixed(r.scan_reduction(), 1) + "x"});
     std::string prefix = "n" + std::to_string(r.nodes) + "_" + r.scheduler;
     json.add(prefix + "_wall_ms", r.wall_ms);
+    json.add(prefix + "_peak_queue", static_cast<double>(r.peak_queue));
+    json.add(prefix + "_queue_allocs_per_event",
+             r.events > 0 ? static_cast<double>(r.queue_allocs) / static_cast<double>(r.events)
+                          : 0.0);
     json.add(prefix + "_makespan_s", r.makespan);
     json.add(prefix + "_events_per_s", events_per_s);
     json.add(prefix + "_launches", static_cast<double>(r.launches));

@@ -49,6 +49,7 @@ void FairShareResource::integrate_progress() {
   if (dt <= 0.0 || claims_.empty()) return;
   busy_seconds_ += dt;
   double base = share_rate();
+  virtual_clock_ += base * dt;
   for (auto& [id, claim] : claims_) {
     double drained = base * claim.speed_factor * dt;
     drained = std::min(drained, claim.remaining);
@@ -62,7 +63,9 @@ FairShareResource::ClaimId FairShareResource::start(double work, double speed_fa
   if (speed_factor <= 0.0) throw std::invalid_argument("FairShareResource: speed_factor <= 0");
   integrate_progress();
   ClaimId id = next_id_++;
-  claims_.emplace(id, Claim{std::max(work, 0.0), speed_factor, std::move(on_complete)});
+  double eta_key = virtual_clock_ + std::max(work, 0.0) / speed_factor;
+  claims_.emplace(id, Claim{std::max(work, 0.0), speed_factor, eta_key, std::move(on_complete)});
+  eta_index_.emplace(eta_key, id);
   reschedule();
   return id;
 }
@@ -80,21 +83,34 @@ void FairShareResource::cancel(ClaimId id) {
   auto it = claims_.find(id);
   if (it == claims_.end()) return;
   integrate_progress();
+  eta_index_.erase({it->second.eta_key, id});
   claims_.erase(it);
   reschedule();
 }
 
 void FairShareResource::reschedule() {
-  pending_event_.cancel();
-  if (claims_.empty()) return;
-  double base = share_rate();
-  SimTime earliest = Simulator::kForever;
-  for (const auto& [id, claim] : claims_) {
-    double rate = base * claim.speed_factor;
-    earliest = std::min(earliest, claim.remaining / rate);
+  if (claims_.empty()) {
+    pending_event_.cancel();
+    pending_time_ = -1.0;
+    return;
   }
-  pending_event_ = sim_.schedule_after(std::max(earliest, 0.0),
-                                       [this] { on_completion_event(); });
+  double base = share_rate();
+  // The index front is the earliest finisher; its ETA is evaluated with the
+  // same expression the former full scan used, so the scheduled time (and
+  // thus every golden trace) is bit-identical.
+  const Claim& front = claims_.find(eta_index_.begin()->second)->second;
+  double rate = base * front.speed_factor;
+  double delay = std::max(front.remaining / rate, 0.0);
+  SimTime when = sim_.now() + delay;
+  if (pending_event_.pending() && when == pending_time_) {
+    // Same completion instant as the already-queued event (common when
+    // several claims start at one dispatch tick on a cap-bound resource):
+    // keep the queued event instead of churning the kernel heap.
+    return;
+  }
+  pending_event_.cancel();
+  pending_event_ = sim_.schedule_after(delay, [this] { on_completion_event(); });
+  pending_time_ = when;
 }
 
 void FairShareResource::on_completion_event() {
@@ -106,6 +122,7 @@ void FairShareResource::on_completion_event() {
     if (it->second.remaining <= rate * kTimeEpsilon) {
       finished.push_back(std::move(it->second.on_complete));
       drained_ += it->second.remaining;
+      eta_index_.erase({it->second.eta_key, it->first});
       it = claims_.erase(it);
     } else {
       ++it;
@@ -140,15 +157,17 @@ double FairShareResource::current_rate() const {
 }
 
 double FairShareResource::total_drained() {
+  // Integrating advances last_update_ but leaves every claim's ETA (and
+  // thus the pending completion event) unchanged, so no reschedule —
+  // querying must not perturb event ordering. (This used to cancel and
+  // re-push the completion event with a fresh sequence number, letting a
+  // read-only query reorder same-time events.)
   integrate_progress();
-  reschedule();
   return drained_;
 }
 
 double FairShareResource::busy_seconds() {
-  // Integrating advances last_update_ but leaves every claim's ETA (and
-  // thus the pending completion event) unchanged, so no reschedule —
-  // querying must not perturb event ordering.
+  // Same integrate-only contract as total_drained().
   integrate_progress();
   return busy_seconds_;
 }

@@ -5,12 +5,22 @@
 // Whenever the active set changes, progress is integrated and the earliest
 // completion event is rescheduled. This makes resource contention an
 // emergent property of the simulation — the effect RUPAM exploits.
+//
+// The earliest finisher is tracked incrementally: every active claim drains
+// its normalized work (remaining / speed_factor) at the same capacity-side
+// rate, so ordering claims by "virtual clock at admission + normalized
+// work" is invariant under both elapsed time and capacity changes. The
+// reschedule path reads the front of that index in O(log n) instead of
+// scanning all claims, and skips the cancel/repush entirely when the
+// earliest completion time is unchanged (bit-exact comparison).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "common/types.hpp"
 #include "simcore/simulator.hpp"
@@ -53,7 +63,8 @@ class FairShareResource {
   /// Aggregate drain rate in units/s (e.g. NIC bytes/s), including speed
   /// factors — this is what a monitoring agent would measure.
   double current_rate() const;
-  /// Total units drained since construction.
+  /// Total units drained since construction (integrated lazily; querying
+  /// must not perturb event ordering).
   double total_drained();
   /// Simulated seconds during which at least one claim was active
   /// (integrated lazily). Busy fraction = busy_seconds() / elapsed time.
@@ -68,6 +79,9 @@ class FairShareResource {
   struct Claim {
     double remaining;
     double speed_factor;
+    /// Completion key in the eta index: virtual clock at admission plus
+    /// normalized work (see header comment). Constant for the claim's life.
+    double eta_key;
     CompletionFn on_complete;
   };
 
@@ -84,11 +98,17 @@ class FairShareResource {
   double concurrency_penalty_;
   double capacity_scale_ = 1.0;
   std::map<ClaimId, Claim> claims_;
+  /// Claims ordered by eta_key: the front is always the earliest finisher.
+  std::set<std::pair<double, ClaimId>> eta_index_;
+  /// Integral of share_rate() over time — the pace at which every active
+  /// claim's normalized work drains.
+  double virtual_clock_ = 0.0;
   ClaimId next_id_ = 1;
   SimTime last_update_ = 0.0;
   double drained_ = 0.0;
   double busy_seconds_ = 0.0;
   EventHandle pending_event_;
+  SimTime pending_time_ = -1.0;  // absolute time of the pending completion
 };
 
 }  // namespace rupam

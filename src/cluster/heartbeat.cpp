@@ -1,5 +1,7 @@
 #include "cluster/heartbeat.hpp"
 
+#include <stdexcept>
+
 namespace rupam {
 
 HeartbeatService::HeartbeatService(Cluster& cluster, SimTime period)
@@ -12,19 +14,20 @@ void HeartbeatService::subscribe(Listener listener) { listeners_.push_back(std::
 void HeartbeatService::start() {
   if (running_) return;
   running_ = true;
-  pending_.assign(cluster_.size(), EventHandle{});
+  timers_ = std::make_unique<PeriodicTaskSet>(cluster_.sim(), period_);
   for (std::size_t i = 0; i < cluster_.size(); ++i) {
     auto id = static_cast<NodeId>(i);
     // Deterministic stagger: node i beats at phase i/n of the period.
     SimTime phase = period_ * static_cast<double>(i) / static_cast<double>(cluster_.size());
-    pending_[i] = cluster_.sim().schedule_after(phase, [this, id] { beat(id); });
+    timers_->add(phase, [this, id] { beat(id); });
   }
+  timers_->start();
 }
 
 void HeartbeatService::stop() {
   running_ = false;
-  for (auto& h : pending_) h.cancel();
-  pending_.clear();
+  if (timers_) timers_->stop();
+  timers_.reset();
 }
 
 void HeartbeatService::set_dropped(NodeId node, bool dropped) {
@@ -41,14 +44,12 @@ bool HeartbeatService::dropped(NodeId node) const {
 
 void HeartbeatService::beat(NodeId id) {
   if (!running_) return;
-  // A silenced node still reschedules its beat so reporting resumes the
-  // period after the fault clears.
+  // A silenced node's slot still cycles in the task set, so reporting
+  // resumes the period after the fault clears.
   if (cluster_.node(id).online() && !dropped(id)) {
     NodeMetrics metrics = cluster_.node(id).metrics();
     for (const auto& listener : listeners_) listener(metrics);
   }
-  pending_[static_cast<std::size_t>(id)] =
-      cluster_.sim().schedule_after(period_, [this, id] { beat(id); });
 }
 
 }  // namespace rupam

@@ -2,12 +2,17 @@
 // metrics (RUPAM's "extended heartbeat", paper §III-B1). Listeners get one
 // callback per node per period; beats are staggered deterministically so no
 // two nodes report at the exact same instant.
+//
+// All N per-node timers ride on a single PeriodicTaskSet, so the service
+// occupies one kernel event-queue entry regardless of cluster size.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "simcore/periodic.hpp"
 #include "simcore/simulator.hpp"
 
 namespace rupam {
@@ -31,6 +36,8 @@ class HeartbeatService {
   bool dropped(NodeId node) const;
 
   SimTime period() const { return period_; }
+  /// Kernel event-queue entries the service occupies (1 while running).
+  std::size_t queue_entries() const { return timers_ ? timers_->queue_entries() : 0u; }
 
  private:
   void beat(NodeId id);
@@ -39,7 +46,7 @@ class HeartbeatService {
   SimTime period_;
   bool running_ = false;
   std::vector<Listener> listeners_;
-  std::vector<EventHandle> pending_;
+  std::unique_ptr<PeriodicTaskSet> timers_;
   std::vector<bool> dropped_;
 };
 

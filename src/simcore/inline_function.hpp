@@ -1,0 +1,108 @@
+// Move-only `void()` callable with small-buffer-optimized storage.
+//
+// The event queue stores one callback per scheduled event; with
+// std::function every schedule_*() heap-allocates the capture. Almost all
+// kernel callbacks capture a `this` pointer plus a couple of scalars or a
+// shared_ptr, so a 48-byte inline buffer keeps the common case off the
+// allocator entirely. Oversized captures still work — they fall back to a
+// single heap allocation, counted in KernelStats::callback_heap_allocs so
+// benches can assert the hot path stays allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "simcore/kernel_stats.hpp"
+
+namespace rupam {
+
+class InlineFunction {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineFunction() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    construct<D>(std::forward<F>(fn));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void reset() {
+    if (manage_) manage_(Op::kDestroy, buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  enum class Op { kDestroy, kMove };
+  using Invoker = void (*)(void*);
+  using Manager = void (*)(Op, void* self, void* dest);
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D, typename F>
+  void construct(F&& fn) {
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      invoke_ = [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); };
+      manage_ = [](Op op, void* self, void* dest) {
+        D* s = std::launder(reinterpret_cast<D*>(self));
+        if (op == Op::kDestroy) {
+          s->~D();
+        } else {
+          ::new (dest) D(std::move(*s));
+          s->~D();
+        }
+      };
+    } else {
+      ++kernel_stats().callback_heap_allocs;
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      invoke_ = [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); };
+      manage_ = [](Op op, void* self, void* dest) {
+        D** s = std::launder(reinterpret_cast<D**>(self));
+        if (op == Op::kDestroy) {
+          delete *s;
+        } else {
+          ::new (dest) D*(*s);  // steal the pointer; source is abandoned
+        }
+      };
+    }
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_) manage_(Op::kMove, other.buf_, buf_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  Invoker invoke_ = nullptr;
+  Manager manage_ = nullptr;
+};
+
+}  // namespace rupam

@@ -1,0 +1,12 @@
+#include "simcore/kernel_stats.hpp"
+
+namespace rupam {
+
+KernelStats& kernel_stats() {
+  static KernelStats stats;
+  return stats;
+}
+
+void reset_kernel_stats() { kernel_stats() = KernelStats{}; }
+
+}  // namespace rupam

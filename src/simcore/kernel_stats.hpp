@@ -1,0 +1,27 @@
+// Process-wide tallies of simulation-kernel work and allocator traffic.
+//
+// Simulations are single-threaded, so these are plain counters. Benches
+// reset them around a measured region to report allocations/event; the
+// bench JSON sidecar (bench_common) snapshots them into every report so
+// BENCH_*.json captures memory behaviour alongside wall time.
+#pragma once
+
+#include <cstdint>
+
+namespace rupam {
+
+struct KernelStats {
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_cancelled = 0;
+  /// Event-arena growth: slots constructed (reused slots don't count).
+  std::uint64_t arena_slot_allocs = 0;
+  /// Callbacks whose captures exceeded the inline buffer and fell back to
+  /// the heap (see InlineFunction::kInlineBytes).
+  std::uint64_t callback_heap_allocs = 0;
+};
+
+KernelStats& kernel_stats();
+void reset_kernel_stats();
+
+}  // namespace rupam

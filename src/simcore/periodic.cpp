@@ -1,0 +1,56 @@
+#include "simcore/periodic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rupam {
+
+PeriodicTaskSet::PeriodicTaskSet(Simulator& sim, SimTime period) : sim_(sim), period_(period) {
+  if (period <= 0.0) throw std::invalid_argument("PeriodicTaskSet: period must be > 0");
+}
+
+std::size_t PeriodicTaskSet::add(SimTime phase, std::function<void()> fn) {
+  if (running_) throw std::logic_error("PeriodicTaskSet: cannot add members while running");
+  if (phase < 0.0 || phase >= period_) {
+    throw std::invalid_argument("PeriodicTaskSet: phase outside [0, period)");
+  }
+  members_.push_back(Member{phase, 0.0, std::move(fn)});
+  return members_.size() - 1;
+}
+
+void PeriodicTaskSet::start() {
+  if (running_) return;
+  running_ = true;
+  if (members_.empty()) return;
+  order_.resize(members_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  std::stable_sort(order_.begin(), order_.end(), [this](std::size_t a, std::size_t b) {
+    return members_[a].phase < members_[b].phase;
+  });
+  for (Member& m : members_) m.next_due = sim_.now() + m.phase;
+  cursor_ = 0;
+  arm();
+}
+
+void PeriodicTaskSet::stop() {
+  running_ = false;
+  handle_.cancel();
+}
+
+void PeriodicTaskSet::arm() {
+  handle_ = sim_.schedule_at(members_[order_[cursor_]].next_due, [this] { fire(); });
+}
+
+void PeriodicTaskSet::fire() {
+  if (!running_) return;
+  Member& m = members_[order_[cursor_]];
+  m.next_due += period_;  // == now + period: the fire time was exact
+  cursor_ = (cursor_ + 1) % order_.size();
+  // Re-arm before running the member so the next timer's queue position
+  // precedes any same-time events the member schedules — exactly where a
+  // self-rescheduling timer pushed one period earlier would sit.
+  arm();
+  m.fn();
+}
+
+}  // namespace rupam

@@ -1,0 +1,63 @@
+// Coalesced periodic timers.
+//
+// A PeriodicTaskSet runs N members on a shared period, each at a fixed
+// phase offset, while occupying exactly ONE kernel event-queue entry at any
+// moment: the set keeps its own cyclic firing order and re-arms a single
+// event for the next member due. An N-node fleet's heartbeats therefore
+// cost O(1) queue residency instead of O(N) self-rescheduling timers.
+//
+// Firing times are bit-identical to the self-rescheduling pattern they
+// replace: a member's first firing is now + phase (as schedule_after(phase)
+// would produce) and each subsequent firing is previous + period (as
+// schedule_after(period) from inside the callback would produce).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "simcore/simulator.hpp"
+
+namespace rupam {
+
+class PeriodicTaskSet {
+ public:
+  PeriodicTaskSet(Simulator& sim, SimTime period);
+
+  /// Register a member firing at now+phase, now+phase+period, ... once the
+  /// set is started. Phase must lie in [0, period). Members cannot be added
+  /// while running. Returns the member's index.
+  std::size_t add(SimTime phase, std::function<void()> fn);
+
+  /// Arm the set (first firings land within one period). Restarting after
+  /// stop() re-bases every member's phase on the current time.
+  void start();
+  void stop();
+
+  bool running() const { return running_; }
+  SimTime period() const { return period_; }
+  std::size_t size() const { return members_.size(); }
+  /// Kernel event-queue entries this set occupies: 1 while armed, else 0 —
+  /// independent of member count.
+  std::size_t queue_entries() const { return handle_.pending() ? 1u : 0u; }
+
+ private:
+  struct Member {
+    SimTime phase;
+    SimTime next_due = 0.0;
+    std::function<void()> fn;
+  };
+
+  void arm();
+  void fire();
+
+  Simulator& sim_;
+  SimTime period_;
+  bool running_ = false;
+  std::vector<Member> members_;
+  std::vector<std::size_t> order_;  // member indices, stable-sorted by phase
+  std::size_t cursor_ = 0;          // next entry of order_ to fire
+  EventHandle handle_;
+};
+
+}  // namespace rupam

@@ -5,22 +5,31 @@
 // set of contending claims changes). Event ordering is (time, insertion
 // sequence), so same-time events run in FIFO order and runs are fully
 // deterministic.
+//
+// Hot-path layout: event records live in a slot-reusing arena (steady-state
+// scheduling allocates nothing), an indexed binary heap of slot indices
+// orders them, and cancel() removes the record from the heap in O(log n) —
+// no tombstones survive, so cancel-heavy churn cannot bloat the queue.
+// Handles carry a generation counter instead of a per-event shared_ptr:
+// a handle whose slot has been reused simply stops matching. Callbacks use
+// InlineFunction, so common capture sizes never touch the allocator.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/types.hpp"
+#include "simcore/inline_function.hpp"
 
 namespace rupam {
 
 class Simulator;
 
 /// Cancellation token for a scheduled event. Default-constructed handles are
-/// inert; cancel() on an already-fired or cancelled event is a no-op.
+/// inert; cancel() on an already-fired or cancelled event is a no-op. A
+/// handle weakly references the Simulator that issued it, so it must not be
+/// used after that Simulator is destroyed.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -30,17 +39,16 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint64_t generation)
+      : sim_(sim), slot_(slot), generation_(generation) {}
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -59,29 +67,60 @@ class Simulator {
   /// Execute at most one event. Returns false if the queue is empty.
   bool step();
 
-  bool empty() const;
+  /// True when no live events remain (cancelled events are removed
+  /// immediately, so this is exact).
+  bool empty() const { return heap_.empty(); }
+  /// Live events currently queued — cancellations shrink this immediately.
+  std::size_t pending_events() const { return heap_.size(); }
+  /// High-watermark of pending_events() over this simulator's lifetime.
+  std::size_t peak_pending_events() const { return peak_pending_; }
   std::size_t executed_events() const { return executed_; }
 
   static constexpr SimTime kForever = 1e300;
 
  private:
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNullIndex = 0xffffffffu;
+
   struct Event {
-    SimTime time;
-    std::uint64_t seq;
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;
+    /// Bumped whenever the slot is released; handles whose generation no
+    /// longer matches are stale (event fired, was cancelled, or slot reused).
+    std::uint64_t generation = 0;
+    std::uint32_t heap_pos = kNullIndex;
+    std::uint32_t next_free = kNullIndex;
     Callback fn;
-    std::shared_ptr<EventHandle::State> state;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  bool event_before(std::uint32_t a, std::uint32_t b) const {
+    const Event& ea = arena_[a];
+    const Event& eb = arena_[b];
+    if (ea.time != eb.time) return ea.time < eb.time;
+    return ea.seq < eb.seq;
+  }
+
+  void heap_sift_up(std::size_t pos);
+  void heap_sift_down(std::size_t pos);
+  void heap_push(std::uint32_t slot);
+  void heap_remove(std::size_t pos);
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
+  bool event_pending(std::uint32_t slot, std::uint64_t generation) const {
+    return slot < arena_.size() && arena_[slot].generation == generation;
+  }
+  void cancel_event(std::uint32_t slot, std::uint64_t generation);
+
+  std::vector<Event> arena_;          // slot-reusing event records
+  std::vector<std::uint32_t> heap_;   // binary heap of slots, (time, seq) order
+  std::uint32_t free_head_ = kNullIndex;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
+  std::size_t peak_pending_ = 0;
 };
 
 }  // namespace rupam

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "cluster/fair_share_resource.hpp"
 
 namespace rupam {
@@ -182,6 +188,159 @@ TEST(FairShare, TotalDrainedConserved) {
   for (int i = 0; i < 5; ++i) net.start(100.0, 1.0, nullptr);
   sim.run();
   EXPECT_NEAR(net.total_drained(), 500.0, 1e-6);
+}
+
+TEST(FairShare, TotalDrainedIsObservationOnly) {
+  // Regression: total_drained() used to call reschedule(), which cancelled
+  // and re-pushed the pending completion event. That gave the completion a
+  // fresh (later) sequence number, so an unrelated event at the same
+  // timestamp jumped ahead of it. Observers must not perturb the trace.
+  Simulator sim;
+  FairShareResource net(sim, "net", 100.0, 100.0);
+  std::vector<std::string> order;
+  net.start(500.0, 1.0, [&] { order.push_back("completion"); });  // fires at 5.0, early seq
+  sim.schedule_at(5.0, [&] { order.push_back("probe"); });        // same time, later seq
+  double drained_at_2 = -1.0;
+  sim.schedule_at(2.0, [&] { drained_at_2 = net.total_drained(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(drained_at_2, 200.0);
+  // The completion kept its original admission order relative to the probe.
+  EXPECT_EQ(order, (std::vector<std::string>{"completion", "probe"}));
+}
+
+TEST(FairShare, RedundantReschedulesKeepEventOrder) {
+  // Admitting a claim that does not change the earliest completion time must
+  // not cancel/re-push the pending event: the completion keeps its original
+  // sequence number and still fires ahead of a same-time probe.
+  Simulator sim;
+  FairShareResource cpu(sim, "cpu", 8.0, 1.0);
+  std::vector<std::string> order;
+  cpu.start(4.0, 1.0, [&] { order.push_back("completion"); });  // finishes at 4.0
+  sim.schedule_at(4.0, [&] { order.push_back("probe"); });
+  cpu.start(10.0, 1.0, nullptr);  // later ETA: earliest completion unchanged
+  sim.run(5.0);
+  EXPECT_EQ(order, (std::vector<std::string>{"completion", "probe"}));
+}
+
+TEST(FairShare, CancellingEarliestClaimRetargetsCompletion) {
+  // The pending event tracks the earliest-ETA claim; cancelling that claim
+  // must promote the next one in the index.
+  Simulator sim;
+  FairShareResource cpu(sim, "cpu", 8.0, 1.0);
+  SimTime b_done = -1.0;
+  FairShareResource::ClaimId a = cpu.start(2.0, 1.0, [] { FAIL() << "cancelled claim completed"; });
+  cpu.start(6.0, 1.0, [&] { b_done = sim.now(); });
+  sim.schedule_at(1.0, [&] { cpu.cancel(a); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(b_done, 6.0);
+}
+
+TEST(FairShare, StaggeredChurnMatchesProcessorSharingReference) {
+  // Heavy exercise for the incremental earliest-ETA index: 40 claims with
+  // mixed speed factors arrive staggered and some are cancelled mid-flight.
+  // Completion times are checked against an independent processor-sharing
+  // reference integrated directly in the test.
+  constexpr int kClaims = 40;
+  constexpr double kCapacity = 100.0;
+  constexpr double kCancelTime = 6.0;
+  struct Spec {
+    double arrival, work, speed;
+    bool cancelled;
+  };
+  std::vector<Spec> specs;
+  for (int i = 0; i < kClaims; ++i) {
+    specs.push_back({0.1 * i, 50.0 + 17.0 * ((i * 7) % 13), 0.5 + 0.25 * (i % 4), i % 5 == 3});
+  }
+
+  // Reference: equal capacity split (per-claim cap == capacity here), each
+  // active claim drains at share * speed.
+  std::vector<double> ref_done(kClaims, -1.0);
+  {
+    std::vector<double> remaining(kClaims);
+    std::vector<bool> active(kClaims, false);
+    for (int i = 0; i < kClaims; ++i) {
+      remaining[static_cast<std::size_t>(i)] = specs[static_cast<std::size_t>(i)].work;
+    }
+    double t = 0.0;
+    bool cancels_done = false;
+    for (int guard = 0; guard < 10000; ++guard) {
+      // Process everything due at the current instant: cancels, then arrivals.
+      if (!cancels_done && t >= kCancelTime) {
+        for (int i = 0; i < kClaims; ++i) {
+          if (specs[static_cast<std::size_t>(i)].cancelled) active[static_cast<std::size_t>(i)] = false;
+        }
+        cancels_done = true;
+      }
+      for (int i = 0; i < kClaims; ++i) {
+        const Spec& s = specs[static_cast<std::size_t>(i)];
+        if (!active[static_cast<std::size_t>(i)] && ref_done[static_cast<std::size_t>(i)] < 0.0 &&
+            remaining[static_cast<std::size_t>(i)] > 1e-9 && s.arrival <= t &&
+            !(s.cancelled && cancels_done)) {
+          active[static_cast<std::size_t>(i)] = true;
+        }
+      }
+      int n_active = static_cast<int>(std::count(active.begin(), active.end(), true));
+      double share = n_active > 0 ? std::min(kCapacity, kCapacity / n_active) : 0.0;
+      double next = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < kClaims; ++i) {
+        const Spec& s = specs[static_cast<std::size_t>(i)];
+        if (!active[static_cast<std::size_t>(i)] && ref_done[static_cast<std::size_t>(i)] < 0.0 &&
+            remaining[static_cast<std::size_t>(i)] > 1e-9 && s.arrival > t) {
+          next = std::min(next, s.arrival);
+        }
+        if (active[static_cast<std::size_t>(i)]) {
+          next = std::min(next, t + remaining[static_cast<std::size_t>(i)] / (share * s.speed));
+        }
+      }
+      if (!cancels_done && kCancelTime > t) next = std::min(next, kCancelTime);
+      if (!std::isfinite(next)) break;
+      double dt = next - t;
+      for (int i = 0; i < kClaims; ++i) {
+        if (active[static_cast<std::size_t>(i)]) {
+          remaining[static_cast<std::size_t>(i)] -= share * specs[static_cast<std::size_t>(i)].speed * dt;
+        }
+      }
+      t = next;
+      for (int i = 0; i < kClaims; ++i) {
+        if (active[static_cast<std::size_t>(i)] && remaining[static_cast<std::size_t>(i)] <= 1e-9) {
+          active[static_cast<std::size_t>(i)] = false;
+          ref_done[static_cast<std::size_t>(i)] = t;
+        }
+      }
+    }
+  }
+
+  Simulator sim;
+  FairShareResource res(sim, "res", kCapacity, kCapacity);
+  std::vector<SimTime> done(kClaims, -1.0);
+  std::vector<FairShareResource::ClaimId> ids(kClaims, 0);
+  for (int i = 0; i < kClaims; ++i) {
+    const Spec& s = specs[static_cast<std::size_t>(i)];
+    sim.schedule_at(s.arrival, [&res, &done, &ids, &sim, s, i] {
+      ids[static_cast<std::size_t>(i)] =
+          res.start(s.work, s.speed, [&done, &sim, i] { done[static_cast<std::size_t>(i)] = sim.now(); });
+    });
+  }
+  sim.schedule_at(kCancelTime, [&] {
+    for (int i = 0; i < kClaims; ++i) {
+      if (specs[static_cast<std::size_t>(i)].cancelled && done[static_cast<std::size_t>(i)] < 0.0) {
+        res.cancel(ids[static_cast<std::size_t>(i)]);
+      }
+    }
+  });
+  sim.run();
+
+  EXPECT_EQ(res.active(), 0u);
+  for (int i = 0; i < kClaims; ++i) {
+    const Spec& s = specs[static_cast<std::size_t>(i)];
+    if (s.cancelled && ref_done[static_cast<std::size_t>(i)] < 0.0) {
+      EXPECT_LT(done[static_cast<std::size_t>(i)], 0.0) << "claim " << i << " should have been cancelled";
+    } else {
+      ASSERT_GE(done[static_cast<std::size_t>(i)], 0.0) << "claim " << i << " never completed";
+      EXPECT_NEAR(done[static_cast<std::size_t>(i)], ref_done[static_cast<std::size_t>(i)], 1e-6)
+          << "claim " << i;
+    }
+  }
 }
 
 TEST(FairShare, RejectsBadArguments) {
