@@ -33,7 +33,8 @@ std::vector<NodeSpec> homogeneous_cluster() {
   return nodes;
 }
 
-double speedup_on(const std::vector<NodeSpec>& nodes, const char* workload, int reps) {
+double speedup_on(const std::vector<NodeSpec>& nodes, const char* workload, int reps,
+                  bench::JsonReport& json) {
   double spark = 0.0, rupam = 0.0;
   for (auto kind : {SchedulerKind::kSpark, SchedulerKind::kRupam}) {
     ExperimentConfig cfg;
@@ -41,6 +42,7 @@ double speedup_on(const std::vector<NodeSpec>& nodes, const char* workload, int 
     cfg.repetitions = reps;
     cfg.sim.nodes = nodes;
     ExperimentResult r = run_experiment(workload_preset(workload), cfg);
+    json.record_kernel(r.kernel_total());
     (kind == SchedulerKind::kSpark ? spark : rupam) = r.mean_makespan();
   }
   return spark / rupam;
@@ -58,8 +60,8 @@ int main(int argc, char** argv) {
   bench::JsonReport json("ablation_heterogeneity");
   bool premise_holds = true;
   for (const char* workload : {"LR", "TeraSort", "PR"}) {
-    double homo = speedup_on(homogeneous_cluster(), workload, reps);
-    double hydra = speedup_on({}, workload, reps);  // empty = Hydra preset
+    double homo = speedup_on(homogeneous_cluster(), workload, reps, json);
+    double hydra = speedup_on({}, workload, reps, json);  // empty = Hydra preset
     table.add_row({workload, format_fixed(homo, 2) + "x", format_fixed(hydra, 2) + "x"});
     premise_holds = premise_holds && hydra >= homo - 0.15;
     json.add(std::string(workload) + "_homogeneous_speedup", homo);

@@ -7,14 +7,16 @@ namespace {
 
 using namespace rupam;
 
-double run_with(const char* workload, RupamConfig rupam_cfg, int reps = 2,
-                double res_factor = 2.0) {
+double run_with(const char* workload, RupamConfig rupam_cfg, bench::JsonReport& json,
+                int reps = 2, double res_factor = 2.0) {
   rupam_cfg.res_factor = res_factor;
   ExperimentConfig cfg;
   cfg.scheduler = SchedulerKind::kRupam;
   cfg.repetitions = reps;
   cfg.sim.rupam = rupam_cfg;
-  return run_experiment(workload_preset(workload), cfg).mean_makespan();
+  ExperimentResult r = run_experiment(workload_preset(workload), cfg);
+  json.record_kernel(r.kernel_total());
+  return r.mean_makespan();
 }
 
 }  // namespace
@@ -58,7 +60,7 @@ int main(int argc, char** argv) {
   bench::JsonReport json("ablation_rupam");
   std::map<std::string, double> baselines;
   for (const auto& c : cases) {
-    double makespan = run_with(c.workload, c.cfg, reps);
+    double makespan = run_with(c.workload, c.cfg, json, reps);
     std::string key = c.workload;
     if (std::string(c.label) == "full RUPAM") baselines[key] = makespan;
     double rel = makespan / baselines[key];
@@ -76,7 +78,7 @@ int main(int argc, char** argv) {
   std::cout << "\nRes_factor sensitivity (LR):\n";
   TextTable sweep({"Res_factor", "Makespan (s)"});
   for (double rf : {1.2, 1.5, 2.0, 3.0, 4.0}) {
-    double makespan = run_with("LR", full, reps, rf);
+    double makespan = run_with("LR", full, json, reps, rf);
     sweep.add_row({format_number(rf), format_fixed(makespan, 1)});
     json.add("LR_res_factor_" + format_number(rf) + "_s", makespan);
   }

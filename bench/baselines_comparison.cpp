@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
       cfg.scheduler = kind;
       cfg.repetitions = reps;
       results.emplace(kind, run_experiment(workload_preset(name), cfg));
+      json.record_kernel(results.at(kind).kernel_total());
     }
     double rupam_mean = results.at(SchedulerKind::kRupam).mean_makespan();
     for (SchedulerKind kind : ladder) {

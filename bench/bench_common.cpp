@@ -54,11 +54,20 @@ void JsonReport::add(const std::string& key, const std::string& value) {
   entries_.emplace_back(key, json_quote(value));
 }
 
+KernelStats Comparison::kernel_total() const {
+  KernelStats total = spark.kernel_total();
+  total += rupam.kernel_total();
+  return total;
+}
+
 void JsonReport::add_comparison(const std::string& prefix, const Comparison& c) {
   add(prefix + "_spark_s", c.spark.mean_makespan());
   add(prefix + "_rupam_s", c.rupam.mean_makespan());
   add(prefix + "_speedup", c.speedup());
+  record_kernel(c.kernel_total());
 }
+
+void JsonReport::record_kernel(const KernelStats& stats) { kernel_ += stats; }
 
 bool JsonReport::write() const {
   std::ofstream f(path_);
@@ -67,8 +76,9 @@ bool JsonReport::write() const {
     return false;
   }
   // Standard memory/allocation footer appended to every report: peak RSS
-  // plus the process-wide kernel counters (see simcore/kernel_stats.hpp).
-  const KernelStats& ks = kernel_stats();
+  // plus the kernel counters of the runs this bench measured and recorded
+  // via record_kernel()/add_comparison() (see simcore/kernel_stats.hpp).
+  const KernelStats& ks = kernel_;
   std::vector<std::pair<std::string, std::string>> all = entries_;
   all.emplace_back("peak_rss_mib", json_number(peak_rss_mib()));
   all.emplace_back("sim_events_scheduled", json_number(static_cast<double>(ks.events_scheduled)));

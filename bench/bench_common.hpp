@@ -20,6 +20,8 @@ struct Comparison {
   ExperimentResult spark;
   ExperimentResult rupam;
   double speedup() const { return spark.mean_makespan() / rupam.mean_makespan(); }
+  /// Kernel counters summed over every run of both experiments.
+  KernelStats kernel_total() const;
 };
 
 Comparison compare(const WorkloadPreset& preset, int repetitions = 5,
@@ -42,8 +44,15 @@ class JsonReport {
 
   void add(const std::string& key, double value);
   void add(const std::string& key, const std::string& value);
-  /// Records <prefix>_spark_s, <prefix>_rupam_s and <prefix>_speedup.
+  /// Records <prefix>_spark_s, <prefix>_rupam_s and <prefix>_speedup, and
+  /// folds both experiments' kernel counters into the report footer.
   void add_comparison(const std::string& prefix, const Comparison& c);
+
+  /// Accumulate the kernel counters of a measured Simulation into the
+  /// report footer. KernelStats is per-Simulator, so benches record each
+  /// run they measure; the footer sums exactly those runs (not unrelated
+  /// activity elsewhere in the process).
+  void record_kernel(const KernelStats& stats);
 
   const std::string& path() const { return path_; }
   /// Returns false (and prints to stderr) when the file cannot be written.
@@ -55,6 +64,7 @@ class JsonReport {
  private:
   std::string path_;
   std::vector<std::pair<std::string, std::string>> entries_;  // key → rendered value
+  KernelStats kernel_{};  // summed counters of every recorded run
 };
 
 }  // namespace rupam::bench

@@ -33,6 +33,7 @@ struct VariantResult {
   double p95 = 0.0;
   double queueing = 0.0;
   SimTime makespan = 0.0;
+  KernelStats kernel{};
 };
 
 VariantResult run_variant(const Scenario& sc, SchedulerKind kind, PoolPolicy policy,
@@ -62,6 +63,7 @@ VariantResult run_variant(const Scenario& sc, SchedulerKind kind, PoolPolicy pol
 
   TenantRunReport report = sim.run(stream);
   VariantResult out;
+  out.kernel = sim.sim().stats();
   out.makespan = report.makespan;
   std::vector<double> jcts;
   double queueing = 0.0;
@@ -114,6 +116,7 @@ int main(int argc, char** argv) {
   std::optional<VariantResult> fifo, fair;
   for (const Variant& v : variants) {
     VariantResult r = run_variant(sc, v.kind, v.policy, v.with_batch);
+    json.record_kernel(r.kernel);
     table.add_row({v.label, std::to_string(r.short_jobs), format_fixed(r.mean, 1),
                    format_fixed(r.p50, 1), format_fixed(r.p95, 1),
                    format_fixed(r.queueing, 1), format_fixed(r.makespan, 1)});

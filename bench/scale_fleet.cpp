@@ -44,6 +44,7 @@ struct RunResult {
   std::size_t launches = 0;
   std::size_t peak_queue = 0;
   std::uint64_t queue_allocs = 0;  // arena growth + callback SBO misses
+  rupam::KernelStats kernel{};     // this run's Simulator counters
   rupam::SchedulerBase::DispatchWorkCounters work;
 
   double scan_reduction() const {
@@ -98,19 +99,17 @@ int main(int argc, char** argv) {
                          /*iterations_override=*/0, hdfs_placement_weights(sim.cluster()));
 
       std::cerr << "[scale_fleet] N=" << n << " " << sim.scheduler().name() << " ...\n";
-      const KernelStats before = kernel_stats();
       auto t0 = std::chrono::steady_clock::now();
       RunResult r;
       r.makespan = sim.run(app);
       auto t1 = std::chrono::steady_clock::now();
-      const KernelStats after = kernel_stats();
+      r.kernel = sim.sim().stats();
       r.nodes = n;
       r.scheduler = sim.scheduler().name();
       r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
       r.events = sim.sim().executed_events();
       r.peak_queue = sim.sim().peak_pending_events();
-      r.queue_allocs = (after.arena_slot_allocs - before.arena_slot_allocs) +
-                       (after.callback_heap_allocs - before.callback_heap_allocs);
+      r.queue_allocs = r.kernel.arena_slot_allocs + r.kernel.callback_heap_allocs;
       r.launches = sim.scheduler().launches();
       r.work = sim.scheduler().dispatch_work();
       if (r.wall_ms > budget_s * 1000.0) over_budget = true;
@@ -122,6 +121,7 @@ int main(int argc, char** argv) {
                    "Task checks", "Full-scan equiv", "Reduction"});
   bench::JsonReport json("scale_fleet");
   for (const RunResult& r : results) {
+    json.record_kernel(r.kernel);
     double events_per_s =
         r.wall_ms > 0.0 ? static_cast<double>(r.events) / (r.wall_ms / 1000.0) : 0.0;
     table.add_row({std::to_string(r.nodes), r.scheduler, format_fixed(r.makespan, 1),

@@ -22,6 +22,7 @@ struct SchedulerProfile {
   std::size_t launches = 0;
   std::size_t dispatch_rounds = 0;
   double makespan = 0.0;
+  rupam::KernelStats kernel{};
 };
 
 }  // namespace
@@ -46,12 +47,14 @@ int main(int argc, char** argv) {
     p.makespan = sim.run(app);
     p.launches = sim.scheduler().launches();
     p.dispatch_rounds = sim.scheduler().dispatch_rounds();
+    p.kernel = sim.sim().stats();
   }
 
   bench::JsonReport json("sched_overhead");
   TextTable table({"Scheduler", "Dispatch rounds", "Launches", "Dispatch mean (ns)",
                    "Heap maint (ns)", "Heartbeat (ns)", "Enqueue (ns)"});
   for (SchedulerProfile& p : profiles) {
+    json.record_kernel(p.kernel);
     const SectionStats& dispatch = p.profiler.section(ProfileSection::kDispatch);
     const SectionStats& heap = p.profiler.section(ProfileSection::kHeapMaintenance);
     const SectionStats& hb = p.profiler.section(ProfileSection::kHeartbeat);

@@ -271,6 +271,7 @@ int main(int argc, char** argv) {
     double ms = wall_ms_since(t0);
     live_eps = static_cast<double>(sim.executed_events()) / (ms / 1000.0);
     live_peak = sim.peak_pending_events();
+    json.record_kernel(sim.stats());
     json.add("churn_wall_ms", ms);
     json.add("churn_events", static_cast<double>(sim.executed_events()));
     json.add("churn_events_per_s", live_eps);
@@ -304,6 +305,7 @@ int main(int argc, char** argv) {
     std::uint64_t allocs = g_heap_allocs - before_allocs;
     std::size_t events = sim.executed_events() - before_events;
     double per_event = events > 0 ? static_cast<double>(allocs) / static_cast<double>(events) : 0.0;
+    json.record_kernel(sim.stats());
     json.add("steady_events", static_cast<double>(events));
     json.add("steady_heap_allocs", static_cast<double>(allocs));
     json.add("steady_allocs_per_event", per_event);
@@ -328,6 +330,7 @@ int main(int argc, char** argv) {
     }
     timers.start();
     sim.run(10.0);
+    json.record_kernel(sim.stats());
     json.add("periodic_members", static_cast<double>(members));
     json.add("periodic_queue_entries", static_cast<double>(timers.queue_entries()));
     json.add("periodic_beats", static_cast<double>(beats));
@@ -361,6 +364,7 @@ int main(int argc, char** argv) {
     double ms = wall_ms_since(t0);
     std::size_t events = sim.sim().executed_events();
     double eps = ms > 0.0 ? static_cast<double>(events) / (ms / 1000.0) : 0.0;
+    json.record_kernel(sim.sim().stats());
     json.add("e2e_nodes", static_cast<double>(fleet_nodes));
     json.add("e2e_makespan_s", makespan);
     json.add("e2e_kernel_wall_ms", ms);

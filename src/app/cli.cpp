@@ -8,6 +8,7 @@
 #include "common/table.hpp"
 #include "faults/fault_plan.hpp"
 #include "metrics/locality_counter.hpp"
+#include "sweep/orchestrator.hpp"
 #include "workloads/presets.hpp"
 
 namespace rupam {
@@ -35,6 +36,12 @@ std::string cli_usage() {
          "  --faults SPEC          inject faults, e.g. 'crash@60:node=3:down=40;\n"
          "                         slow@30:node=0:res=cpu:factor=0.3:for=60'\n"
          "  --chaos SEED           inject a seeded random fault plan\n"
+         "  --sweep SPEC.json      run a parameter-sweep grid (scheduler x fleet size x\n"
+         "                         arrival rate x fault plan, replicated with derived\n"
+         "                         seeds) on a worker pool; writes one JSON result\n"
+         "                         matrix (schema in DESIGN.md §11)\n"
+         "  --sweep-threads N      sweep worker threads (default: hardware concurrency)\n"
+         "  --sweep-out PATH       write the sweep matrix here instead of stdout\n"
          "  --arrivals RATE        multi-tenant mode: open-loop Poisson application\n"
          "                         arrivals at RATE apps/s (--workload restricts the\n"
          "                         mix; default draws from all of Table III)\n"
@@ -129,6 +136,19 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::o
         err << "chaos seed must be non-zero\n";
         return std::nullopt;
       }
+    } else if (a == "--sweep") {
+      if (!need_value(i)) return std::nullopt;
+      opts.sweep = args[++i];
+    } else if (a == "--sweep-threads") {
+      if (!need_value(i)) return std::nullopt;
+      opts.sweep_threads = std::atoi(args[++i].c_str());
+      if (opts.sweep_threads < 0) {
+        err << "sweep threads must be >= 0\n";
+        return std::nullopt;
+      }
+    } else if (a == "--sweep-out") {
+      if (!need_value(i)) return std::nullopt;
+      opts.sweep_out = args[++i];
     } else if (a == "--arrivals") {
       if (!need_value(i)) return std::nullopt;
       opts.arrivals = std::atof(args[++i].c_str());
@@ -236,6 +256,38 @@ int write_observability(Simulation& sim, const CliOptions& options, std::ostream
   return 0;
 }
 
+int run_sweep_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  SweepSpec spec;
+  try {
+    spec = load_sweep_file(options.sweep);
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+
+  SweepOptions sweep_opts;
+  sweep_opts.threads = options.sweep_threads;
+  sweep_opts.on_progress = [&err](std::size_t done, std::size_t total) {
+    err << "[sweep] " << done << "/" << total << " runs\n";
+  };
+  SweepMatrix matrix = run_sweep(spec, sweep_opts);
+
+  if (options.sweep_out.empty()) {
+    matrix.write_json(out);
+  } else {
+    std::ofstream f(options.sweep_out);
+    if (!f) {
+      err << "cannot open " << options.sweep_out << "\n";
+      return 2;
+    }
+    matrix.write_json(f);
+    out << "sweep '" << spec.name << "': " << matrix.cells.size() << " cells, "
+        << matrix.total_runs() << " runs (" << matrix.failed_runs() << " failed) -> "
+        << options.sweep_out << "\n";
+  }
+  return matrix.failed_runs() == 0 ? 0 : 1;
+}
+
 int run_multi_tenant(const CliOptions& options, std::ostream& out, std::ostream& err) {
   SimulationConfig cfg;
   cfg.scheduler = options.scheduler;
@@ -335,6 +387,9 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
           << p.iterations << " iterations\n";
     }
     return 0;
+  }
+  if (!options.sweep.empty()) {
+    return run_sweep_cli(options, out, err);
   }
   if (options.arrivals > 0.0) {
     if (options.workload_explicit) {

@@ -32,6 +32,12 @@ struct CliOptions {
   std::string explain_out;
   std::string faults;        // fault spec (see faults/fault_plan.hpp)
   std::uint64_t chaos_seed = 0;  // non-zero: add a seeded chaos plan
+  /// Sweep mode: path to a JSON SweepSpec (see sweep/sweep_spec.hpp);
+  /// non-empty runs the whole grid on a worker pool and writes one JSON
+  /// result matrix, ignoring the single-run options above.
+  std::string sweep;
+  int sweep_threads = 0;  // 0 = hardware concurrency
+  std::string sweep_out;  // matrix path; empty = stdout
   /// Multi-tenant mode (> 0): open-loop Poisson application arrivals at
   /// this rate (apps per simulated second).
   double arrivals = 0.0;
@@ -49,6 +55,7 @@ struct CliOptions {
 ///   --trace-csv PATH --trace-chrome PATH --trace-perfetto PATH
 ///   --metrics-out PATH --explain PATH --faults SPEC --chaos SEED
 ///   --arrivals RATE --tenants N --pool-policy fifo|fair --duration T
+///   --sweep SPEC.json --sweep-threads N --sweep-out PATH
 ///   --list --help
 std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::ostream& err);
 

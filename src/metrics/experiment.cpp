@@ -17,6 +17,12 @@ double ExperimentResult::ci95_makespan() const {
   return confidence_interval_95(s.stddev(), s.count());
 }
 
+KernelStats ExperimentResult::kernel_total() const {
+  KernelStats total;
+  for (const auto& r : runs) total += r.kernel;
+  return total;
+}
+
 const RunRecord& ExperimentResult::median_run() const {
   if (runs.empty()) throw std::logic_error("ExperimentResult: no runs");
   std::vector<std::size_t> order(runs.size());
@@ -40,6 +46,7 @@ RunRecord run_workload_once(const WorkloadPreset& preset, const ExperimentConfig
 
   RunRecord rec;
   rec.makespan = sim.run(app);
+  rec.kernel = sim.sim().stats();
   const auto& completed = sim.scheduler().completed();
   rec.locality = count_locality(completed);
   rec.breakdown = aggregate_breakdown(completed);

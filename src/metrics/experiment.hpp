@@ -32,6 +32,8 @@ struct ExperimentConfig {
 
 struct RunRecord {
   SimTime makespan = 0.0;
+  /// Kernel work/allocation counters of this run's Simulator.
+  KernelStats kernel{};
   LocalityCounts locality{};
   Breakdown breakdown;
   std::size_t oom_kills = 0;
@@ -54,6 +56,8 @@ struct ExperimentResult {
   double mean_makespan() const;
   double ci95_makespan() const;
   const RunRecord& median_run() const;
+  /// Summed kernel counters across every run (bench JSON footers).
+  KernelStats kernel_total() const;
 };
 
 /// One repetition with an explicit seed.

@@ -5,16 +5,15 @@
 // kernel callbacks capture a `this` pointer plus a couple of scalars or a
 // shared_ptr, so a 48-byte inline buffer keeps the common case off the
 // allocator entirely. Oversized captures still work — they fall back to a
-// single heap allocation, counted in KernelStats::callback_heap_allocs so
-// benches can assert the hot path stays allocation-free.
+// single heap allocation, visible via heap_allocated() so the Simulator
+// can count them (KernelStats::callback_heap_allocs) and benches can
+// assert the hot path stays allocation-free.
 #pragma once
 
 #include <cstddef>
 #include <new>
 #include <type_traits>
 #include <utility>
-
-#include "simcore/kernel_stats.hpp"
 
 namespace rupam {
 
@@ -46,10 +45,16 @@ class InlineFunction {
   void operator()() { invoke_(buf_); }
   explicit operator bool() const { return invoke_ != nullptr; }
 
+  /// True when the capture exceeded kInlineBytes and lives on the heap
+  /// (moves transfer ownership of the same allocation, so this is stable
+  /// across moves).
+  bool heap_allocated() const { return heap_; }
+
   void reset() {
     if (manage_) manage_(Op::kDestroy, buf_, nullptr);
     invoke_ = nullptr;
     manage_ = nullptr;
+    heap_ = false;
   }
 
  private:
@@ -78,7 +83,7 @@ class InlineFunction {
         }
       };
     } else {
-      ++kernel_stats().callback_heap_allocs;
+      heap_ = true;
       ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
       invoke_ = [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); };
       manage_ = [](Op op, void* self, void* dest) {
@@ -95,14 +100,17 @@ class InlineFunction {
   void move_from(InlineFunction& other) noexcept {
     invoke_ = other.invoke_;
     manage_ = other.manage_;
+    heap_ = other.heap_;
     if (manage_) manage_(Op::kMove, other.buf_, buf_);
     other.invoke_ = nullptr;
     other.manage_ = nullptr;
+    other.heap_ = false;
   }
 
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
   Invoker invoke_ = nullptr;
   Manager manage_ = nullptr;
+  bool heap_ = false;
 };
 
 }  // namespace rupam

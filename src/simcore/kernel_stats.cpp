@@ -2,11 +2,13 @@
 
 namespace rupam {
 
-KernelStats& kernel_stats() {
-  static KernelStats stats;
-  return stats;
+KernelStats& KernelStats::operator+=(const KernelStats& other) {
+  events_scheduled += other.events_scheduled;
+  events_executed += other.events_executed;
+  events_cancelled += other.events_cancelled;
+  arena_slot_allocs += other.arena_slot_allocs;
+  callback_heap_allocs += other.callback_heap_allocs;
+  return *this;
 }
-
-void reset_kernel_stats() { kernel_stats() = KernelStats{}; }
 
 }  // namespace rupam

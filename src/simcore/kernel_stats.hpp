@@ -1,9 +1,11 @@
-// Process-wide tallies of simulation-kernel work and allocator traffic.
+// Tallies of simulation-kernel work and allocator traffic.
 //
-// Simulations are single-threaded, so these are plain counters. Benches
-// reset them around a measured region to report allocations/event; the
-// bench JSON sidecar (bench_common) snapshots them into every report so
-// BENCH_*.json captures memory behaviour alongside wall time.
+// Each Simulator owns one KernelStats instance (Simulator::stats()), so
+// concurrent simulations in one process — the sweep orchestrator runs
+// thousands — never share a counter. Benches snapshot the stats of the
+// Simulation(s) they measured into the bench JSON sidecar (bench_common
+// JsonReport::record_kernel), so BENCH_*.json captures memory behaviour
+// alongside wall time.
 #pragma once
 
 #include <cstdint>
@@ -19,9 +21,9 @@ struct KernelStats {
   /// Callbacks whose captures exceeded the inline buffer and fell back to
   /// the heap (see InlineFunction::kInlineBytes).
   std::uint64_t callback_heap_allocs = 0;
-};
 
-KernelStats& kernel_stats();
-void reset_kernel_stats();
+  /// Accumulate another simulator's counters (bench aggregation).
+  KernelStats& operator+=(const KernelStats& other);
+};
 
 }  // namespace rupam

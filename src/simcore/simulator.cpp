@@ -3,8 +3,6 @@
 #include <stdexcept>
 #include <utility>
 
-#include "simcore/kernel_stats.hpp"
-
 namespace rupam {
 
 void EventHandle::cancel() {
@@ -70,7 +68,7 @@ std::uint32_t Simulator::acquire_slot() {
     return slot;
   }
   arena_.emplace_back();
-  ++kernel_stats().arena_slot_allocs;
+  ++stats_.arena_slot_allocs;
   return static_cast<std::uint32_t>(arena_.size() - 1);
 }
 
@@ -89,7 +87,7 @@ void Simulator::cancel_event(std::uint32_t slot, std::uint64_t generation) {
   heap_remove(pos);
   ev.fn.reset();  // release captured state now, not at pop time
   release_slot(slot);
-  ++kernel_stats().events_cancelled;
+  ++stats_.events_cancelled;
 }
 
 EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
@@ -99,8 +97,9 @@ EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
   ev.time = when;
   ev.seq = next_seq_++;
   ev.fn = std::move(fn);
+  if (ev.fn.heap_allocated()) ++stats_.callback_heap_allocs;
   heap_push(slot);
-  ++kernel_stats().events_scheduled;
+  ++stats_.events_scheduled;
   return EventHandle(this, slot, ev.generation);
 }
 
@@ -118,7 +117,7 @@ bool Simulator::step() {
   heap_remove(0);
   release_slot(slot);
   ++executed_;
-  ++kernel_stats().events_executed;
+  ++stats_.events_executed;
   if (fn) fn();
   return true;
 }

@@ -21,6 +21,7 @@
 
 #include "common/types.hpp"
 #include "simcore/inline_function.hpp"
+#include "simcore/kernel_stats.hpp"
 
 namespace rupam {
 
@@ -76,6 +77,10 @@ class Simulator {
   std::size_t peak_pending_events() const { return peak_pending_; }
   std::size_t executed_events() const { return executed_; }
 
+  /// Per-instance kernel work/allocation counters. Instances are fully
+  /// isolated: concurrent Simulators in one process never share state.
+  const KernelStats& stats() const { return stats_; }
+
   static constexpr SimTime kForever = 1e300;
 
  private:
@@ -121,6 +126,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
   std::size_t peak_pending_ = 0;
+  KernelStats stats_;
 };
 
 }  // namespace rupam

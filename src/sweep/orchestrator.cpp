@@ -1,0 +1,278 @@
+#include "sweep/orchestrator.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "app/simulation.hpp"
+#include "common/json_writer.hpp"
+#include "common/stats.hpp"
+#include "faults/fault_plan.hpp"
+#include "sweep/work_queue.hpp"
+
+namespace rupam {
+
+MetricAggregate aggregate_metric(const std::vector<double>& values) {
+  MetricAggregate agg;
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+  agg.n = stats.count();
+  agg.mean = stats.mean();
+  agg.ci95 = confidence_interval_95(stats.stddev(), stats.count());
+  agg.min = stats.min();
+  agg.max = stats.max();
+  return agg;
+}
+
+void CellResult::aggregate() {
+  failed = 0;
+  std::vector<double> makespans, means, p50s, p95s, utils;
+  makespans.reserve(reps.size());
+  for (const RunResult& r : reps) {
+    if (!r.ok) {
+      ++failed;
+      continue;
+    }
+    makespans.push_back(r.makespan);
+    means.push_back(r.mean_jct);
+    p50s.push_back(r.p50_jct);
+    p95s.push_back(r.p95_jct);
+    utils.push_back(r.avg_cpu_util);
+  }
+  makespan = aggregate_metric(makespans);
+  mean_jct = aggregate_metric(means);
+  p50_jct = aggregate_metric(p50s);
+  p95_jct = aggregate_metric(p95s);
+  utilization = aggregate_metric(utils);
+}
+
+std::size_t SweepMatrix::total_runs() const {
+  std::size_t n = 0;
+  for (const CellResult& c : cells) n += c.reps.size();
+  return n;
+}
+
+std::size_t SweepMatrix::failed_runs() const {
+  std::size_t n = 0;
+  for (const CellResult& c : cells) n += c.failed;
+  return n;
+}
+
+KernelStats SweepMatrix::kernel_total() const {
+  KernelStats total;
+  for (const CellResult& c : cells) {
+    for (const RunResult& r : c.reps) total += r.kernel;
+  }
+  return total;
+}
+
+RunResult run_sweep_cell(const SweepSpec& spec, const CellCoord& cell, int replication,
+                         std::uint64_t seed) {
+  RunResult r;
+  r.seed = seed;
+  r.replication = replication;
+
+  SimulationConfig cfg;
+  cfg.scheduler = spec.schedulers.at(cell.scheduler);
+  FleetSpec fleet = sweep_fleet_spec(spec.fleet_sizes.at(cell.fleet), spec.base_seed);
+  cfg.nodes = generate_fleet(fleet);
+  if (fleet.switch_bandwidth > 0.0) cfg.switch_bandwidth = fleet.switch_bandwidth;
+  cfg.pools.policy = spec.pool_policy;
+  cfg.sample_utilization = spec.sample_utilization;
+  const std::string& plan = spec.fault_plans.at(cell.fault);
+  if (!plan.empty()) cfg.faults = parse_fault_spec(plan);
+  cfg.seed = seed;
+
+  ArrivalConfig arrivals;
+  arrivals.rate = spec.arrival_rates.at(cell.rate);
+  arrivals.duration = spec.duration;
+  arrivals.tenants = spec.tenants;
+  arrivals.seed = seed;
+  arrivals.iterations_override = spec.iterations_override;
+  arrivals.mix = spec.mix;
+  arrivals.max_apps = spec.max_apps;
+
+  Simulation sim(cfg);
+  SubmissionStream stream = make_poisson_stream(arrivals, sim.cluster().node_ids());
+  r.apps = stream.size();
+  if (!stream.empty()) {
+    TenantRunReport report = sim.run(stream);
+    r.makespan = report.makespan;
+    r.jobs = report.jobs.size();
+    r.mean_jct = report.overall.mean;
+    r.p50_jct = report.overall.p50;
+    r.p95_jct = report.overall.p95;
+    r.p99_jct = report.overall.p99;
+    r.mean_queueing = report.overall.mean_queueing;
+    if (sim.sampler() != nullptr) r.avg_cpu_util = sim.sampler()->avg_cpu_util();
+  }
+  r.kernel = sim.sim().stats();
+  r.ok = true;
+  return r;
+}
+
+namespace {
+
+struct WorkItem {
+  std::size_t cell = 0;
+  int replication = 0;
+};
+
+}  // namespace
+
+SweepMatrix run_sweep(const SweepSpec& spec, const SweepOptions& options) {
+  spec.validate();
+
+  SweepMatrix matrix;
+  matrix.spec = spec;
+  matrix.cells.resize(spec.cell_count());
+  const std::size_t total = spec.total_runs();
+  for (std::size_t i = 0; i < matrix.cells.size(); ++i) {
+    matrix.cells[i].coord = spec.cell_at(i);
+    matrix.cells[i].reps.resize(static_cast<std::size_t>(spec.replications));
+  }
+  if (total == 0) return matrix;
+
+  WorkQueue<WorkItem> queue;
+  for (std::size_t cell = 0; cell < matrix.cells.size(); ++cell) {
+    for (int rep = 0; rep < spec.replications; ++rep) {
+      queue.push(WorkItem{cell, rep});
+    }
+  }
+  queue.close();
+
+  auto runner = options.runner
+                    ? options.runner
+                    : std::function<RunResult(const SweepSpec&, const CellCoord&, int,
+                                              std::uint64_t)>(run_sweep_cell);
+
+  int threads = options.threads;
+  if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  threads = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads), total));
+
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+  auto worker = [&] {
+    WorkItem item;
+    while (queue.pop(item)) {
+      CellResult& cell = matrix.cells[item.cell];
+      // Each (cell, replication) slot is written by exactly one worker —
+      // results are disjoint, so no lock is needed around the write.
+      RunResult& slot = cell.reps[static_cast<std::size_t>(item.replication)];
+      std::uint64_t seed = derive_run_seed(spec, cell.coord, item.replication);
+      if (options.controller != nullptr && options.controller->stop_requested()) {
+        slot.ok = false;
+        slot.error = "cancelled";
+        slot.seed = seed;
+        slot.replication = item.replication;
+      } else {
+        try {
+          slot = runner(spec, cell.coord, item.replication, seed);
+        } catch (const std::exception& e) {
+          slot = RunResult{};
+          slot.error = e.what();
+          slot.seed = seed;
+          slot.replication = item.replication;
+        } catch (...) {
+          slot = RunResult{};
+          slot.error = "unknown error";
+          slot.seed = seed;
+          slot.replication = item.replication;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++done;
+        if (options.on_progress) options.on_progress(done, total);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  // Aggregation runs single-threaded after the join, in grid order — the
+  // matrix (and its JSON) is independent of which worker ran which cell.
+  for (CellResult& cell : matrix.cells) cell.aggregate();
+  return matrix;
+}
+
+namespace {
+
+void write_aggregate(JsonWriter& w, const char* name, const MetricAggregate& agg) {
+  w.key(name).begin_object();
+  w.key("n").value(static_cast<unsigned long long>(agg.n));
+  w.key("mean").value(agg.mean);
+  w.key("ci95").value(agg.ci95);
+  w.key("min").value(agg.min);
+  w.key("max").value(agg.max);
+  w.end_object();
+}
+
+}  // namespace
+
+void SweepMatrix::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("name").value(spec.name);
+  w.key("base_seed").value(static_cast<unsigned long long>(spec.base_seed));
+  w.key("replications").value(spec.replications);
+  w.key("duration").value(spec.duration);
+  w.key("tenants").value(spec.tenants);
+  w.key("pool_policy").value(spec.pool_policy == PoolPolicy::kFair ? "fair" : "fifo");
+  w.key("total_runs").value(static_cast<unsigned long long>(total_runs()));
+  w.key("failed_runs").value(static_cast<unsigned long long>(failed_runs()));
+  w.key("cells").begin_array();
+  for (const CellResult& cell : cells) {
+    w.begin_object();
+    w.key("scheduler").value(scheduler_cli_name(spec.schedulers.at(cell.coord.scheduler)));
+    w.key("fleet_size").value(spec.fleet_sizes.at(cell.coord.fleet));
+    w.key("arrival_rate").value(spec.arrival_rates.at(cell.coord.rate));
+    w.key("fault_plan").value(spec.fault_plans.at(cell.coord.fault));
+    w.key("failed").value(static_cast<unsigned long long>(cell.failed));
+    w.key("runs").begin_array();
+    for (const RunResult& r : cell.reps) {
+      w.begin_object();
+      w.key("replication").value(r.replication);
+      w.key("seed").value(static_cast<unsigned long long>(r.seed));
+      w.key("ok").value(r.ok);
+      if (!r.ok) {
+        w.key("error").value(r.error);
+      } else {
+        w.key("apps").value(static_cast<unsigned long long>(r.apps));
+        w.key("jobs").value(static_cast<unsigned long long>(r.jobs));
+        w.key("makespan_s").value(r.makespan);
+        w.key("mean_jct_s").value(r.mean_jct);
+        w.key("p50_jct_s").value(r.p50_jct);
+        w.key("p95_jct_s").value(r.p95_jct);
+        w.key("p99_jct_s").value(r.p99_jct);
+        w.key("mean_queueing_s").value(r.mean_queueing);
+        w.key("avg_cpu_util").value(r.avg_cpu_util);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    write_aggregate(w, "makespan_s", cell.makespan);
+    write_aggregate(w, "mean_jct_s", cell.mean_jct);
+    write_aggregate(w, "p50_jct_s", cell.p50_jct);
+    write_aggregate(w, "p95_jct_s", cell.p95_jct);
+    write_aggregate(w, "avg_cpu_util", cell.utilization);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+std::string SweepMatrix::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace rupam

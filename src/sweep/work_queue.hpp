@@ -1,0 +1,65 @@
+// Bounded-unbounded MPMC work queue for the sweep orchestrator's worker
+// pool, in the spirit of the Worker<Scheduler, CommandRef> + queue idiom
+// (SNIPPETS.md). Producers push items and close() the queue when the grid
+// is fully enqueued; workers block in pop() until an item arrives or the
+// queue is closed and drained. Deliberately mutex+condvar (not lock-free):
+// each item is a whole discrete-event simulation, so queue overhead is
+// noise, and the simple implementation is easy to reason about under
+// ThreadSanitizer.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace rupam {
+
+template <typename T>
+class WorkQueue {
+ public:
+  /// Enqueue one item. Push after close() is a programming error; items
+  /// pushed then are silently dropped by design (the queue is draining).
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+  }
+
+  /// Blocking dequeue. Returns false — forever, for every caller — once
+  /// the queue is closed and drained; that is the workers' exit signal.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// No more pushes are coming: wake every blocked worker so the pool can
+  /// drain the remaining items and exit.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rupam

@@ -150,14 +150,14 @@ TEST(Simulator, CancelHeavyChurnKeepsHeapBounded) {
   for (int i = 0; i < kLive; ++i) {
     handles.push_back(sim.schedule_at(100.0 + i, [] {}));
   }
-  const KernelStats warm = kernel_stats();
+  const KernelStats warm = sim.stats();
   for (int round = 0; round < kRounds; ++round) {
     for (EventHandle& h : handles) h.cancel();
     for (int i = 0; i < kLive; ++i) {
       handles[static_cast<std::size_t>(i)] = sim.schedule_at(100.0 + i, [] {});
     }
   }
-  const KernelStats after = kernel_stats();
+  const KernelStats after = sim.stats();
   EXPECT_EQ(sim.pending_events(), static_cast<std::size_t>(kLive));
   EXPECT_LE(sim.peak_pending_events(), static_cast<std::size_t>(kLive));
   EXPECT_EQ(after.arena_slot_allocs, warm.arena_slot_allocs);  // slots reused, not grown
@@ -241,11 +241,40 @@ TEST(Simulator, OversizedCaptureFallsBackToHeapAndRuns) {
   std::array<char, 128> payload{};
   payload[0] = 42;
   int seen = -1;
-  const std::uint64_t before = kernel_stats().callback_heap_allocs;
+  const std::uint64_t before = sim.stats().callback_heap_allocs;
   sim.schedule_at(1.0, [payload, &seen] { seen = payload[0]; });
-  EXPECT_GT(kernel_stats().callback_heap_allocs, before);
+  EXPECT_GT(sim.stats().callback_heap_allocs, before);
   sim.run();
   EXPECT_EQ(seen, 42);
+}
+
+TEST(Simulator, InterleavedSimulatorsKeepIndependentStats) {
+  // Two simulators stepped in lockstep in one process: every counter must
+  // stay per-instance (the sweep orchestrator runs many at once).
+  Simulator a;
+  Simulator b;
+  int fired_a = 0, fired_b = 0;
+  for (int i = 0; i < 10; ++i) {
+    a.schedule_at(1.0 + i, [&fired_a] { ++fired_a; });
+  }
+  for (int i = 0; i < 3; ++i) {
+    b.schedule_at(1.0 + i, [&fired_b] { ++fired_b; });
+  }
+  EventHandle doomed = b.schedule_at(50.0, [] {});
+  doomed.cancel();
+  // Interleave: one step of each until both drain.
+  while (a.step() | static_cast<int>(b.step())) {
+  }
+  EXPECT_EQ(fired_a, 10);
+  EXPECT_EQ(fired_b, 3);
+  EXPECT_EQ(a.stats().events_scheduled, 10u);
+  EXPECT_EQ(a.stats().events_executed, 10u);
+  EXPECT_EQ(a.stats().events_cancelled, 0u);
+  EXPECT_EQ(b.stats().events_scheduled, 4u);
+  EXPECT_EQ(b.stats().events_executed, 3u);
+  EXPECT_EQ(b.stats().events_cancelled, 1u);
+  EXPECT_EQ(a.stats().arena_slot_allocs, 10u);
+  EXPECT_EQ(b.stats().arena_slot_allocs, 4u);
 }
 
 }  // namespace
