@@ -1,6 +1,7 @@
 #include "app/arrivals.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/rng.hpp"
@@ -53,15 +54,39 @@ void append_poisson_arrivals(SubmissionStream& stream, const ArrivalConfig& conf
                              const std::vector<NodeId>& nodes) {
   if (config.rate <= 0.0) throw std::invalid_argument("arrival rate must be > 0");
   if (config.tenants <= 0) throw std::invalid_argument("tenants must be > 0");
+  if (config.diurnal_amplitude < 0.0 || config.diurnal_amplitude > 1.0) {
+    throw std::invalid_argument("diurnal amplitude must be in [0, 1]");
+  }
+  if (config.diurnal_amplitude > 0.0 && config.diurnal_period <= 0.0) {
+    throw std::invalid_argument("diurnal period must be > 0");
+  }
   std::vector<std::string> mix = config.mix;
   if (mix.empty()) {
     for (const WorkloadPreset& preset : table3_workloads()) mix.push_back(preset.name);
   }
+  const bool diurnal = config.diurnal_amplitude > 0.0;
+  const double peak_rate = config.rate * (1.0 + config.diurnal_amplitude);
+  const double two_pi = 6.283185307179586;
   Rng rng(config.seed, 0x9e3779b97f4a7c15ULL);
   SimTime t = 0.0;
   std::size_t k = 0;
   while (true) {
-    t += rng.exponential(config.rate);
+    if (diurnal) {
+      // Thinning: candidates at the peak rate, kept with probability
+      // rate(t)/peak. The extra draws only happen on this branch, so the
+      // legacy amplitude-0 stream is untouched.
+      bool accepted = false;
+      while (!accepted) {
+        t += rng.exponential(peak_rate);
+        if (t > config.duration) break;
+        double rate_t = config.rate *
+                        (1.0 + config.diurnal_amplitude *
+                                   std::sin(two_pi * t / config.diurnal_period));
+        accepted = rng.uniform() * peak_rate < rate_t;
+      }
+    } else {
+      t += rng.exponential(config.rate);
+    }
     if (t > config.duration) break;
     if (config.max_apps != 0 && k >= config.max_apps) break;
     const WorkloadPreset& preset = workload_preset(mix[rng.uniform_index(mix.size())]);

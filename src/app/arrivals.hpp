@@ -60,6 +60,12 @@ struct ArrivalConfig {
   std::vector<std::string> mix;
   /// Hard cap on generated applications (0 = unlimited within duration).
   std::size_t max_apps = 0;
+  /// Diurnal load shape: instantaneous rate follows
+  ///   rate * (1 + diurnal_amplitude * sin(2*pi*t / diurnal_period)),
+  /// sampled by thinning. Amplitude 0 (the default) keeps the plain
+  /// Poisson draw sequence byte-identical; amplitude must stay in [0, 1].
+  double diurnal_amplitude = 0.0;
+  SimTime diurnal_period = 120.0;
 };
 
 /// Draw an open-loop Poisson arrival process over the workload mix.

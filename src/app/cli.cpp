@@ -48,6 +48,16 @@ std::string cli_usage() {
          "  --tenants N            tenant pools for --arrivals (default 2)\n"
          "  --pool-policy NAME     fifo|fair cross-job scheduling policy (default fifo)\n"
          "  --duration T           arrival generation horizon in seconds (default 600)\n"
+         "  --diurnal AMP          shape --arrivals diurnally: rate follows\n"
+         "                         1 + AMP*sin(2*pi*t/period), AMP in [0, 1]\n"
+         "  --diurnal-period T     diurnal wave period in seconds (default 120)\n"
+         "  --autoscale MAX        elastic fleet: provision up to MAX extra nodes under\n"
+         "                         task-backlog pressure, drain them when idle\n"
+         "  --spot-plan SPEC       spot revocations (fault-spec grammar, spot events\n"
+         "                         only), e.g. 'spot@60:node=3:notice=20'\n"
+         "  --preempt              fair-share preemption: kill-and-resubmit tasks of\n"
+         "                         pools above their share when another pool starves\n"
+         "                         (needs --pool-policy fair)\n"
          "  --list                 list available workloads\n"
          "  --help                 this text\n";
 }
@@ -181,6 +191,45 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::o
         err << "duration must be > 0\n";
         return std::nullopt;
       }
+    } else if (a == "--diurnal") {
+      if (!need_value(i)) return std::nullopt;
+      opts.diurnal = std::atof(args[++i].c_str());
+      if (opts.diurnal < 0.0 || opts.diurnal > 1.0) {
+        err << "diurnal amplitude must be in [0, 1]\n";
+        return std::nullopt;
+      }
+    } else if (a == "--diurnal-period") {
+      if (!need_value(i)) return std::nullopt;
+      opts.diurnal_period = std::atof(args[++i].c_str());
+      if (opts.diurnal_period <= 0.0) {
+        err << "diurnal period must be > 0\n";
+        return std::nullopt;
+      }
+    } else if (a == "--autoscale") {
+      if (!need_value(i)) return std::nullopt;
+      opts.autoscale = std::atoi(args[++i].c_str());
+      if (opts.autoscale < 1) {
+        err << "autoscale max nodes must be >= 1\n";
+        return std::nullopt;
+      }
+    } else if (a == "--spot-plan") {
+      if (!need_value(i)) return std::nullopt;
+      opts.spot_plan = args[++i];
+      try {
+        FaultPlan plan = parse_fault_spec(opts.spot_plan);
+        for (const FaultEvent& e : plan.events) {
+          if (e.kind != FaultKind::kSpotRevoke) {
+            err << "--spot-plan only takes spot events (got '"
+                << to_string(e.kind) << "')\n";
+            return std::nullopt;
+          }
+        }
+      } catch (const std::exception& e) {
+        err << e.what() << "\n";
+        return std::nullopt;
+      }
+    } else if (a == "--preempt") {
+      opts.preempt = true;
     } else {
       err << "unknown argument '" << a << "'\n";
       return std::nullopt;
@@ -214,6 +263,28 @@ void apply_observability_flags(SimulationConfig& cfg, const CliOptions& options)
   cfg.enable_metrics = !options.metrics_out.empty();
   cfg.enable_audit = !options.explain_out.empty();
   cfg.enable_spans = !options.trace_perfetto.empty();
+}
+
+/// Wire --autoscale / --spot-plan / --preempt into the config. The spot
+/// plan merges into whatever --faults already contributed.
+bool apply_elastic(SimulationConfig& cfg, const CliOptions& options, std::ostream& err) {
+  if (options.autoscale > 0) {
+    cfg.autoscale.enabled = true;
+    cfg.autoscale.max_nodes = options.autoscale;
+  }
+  cfg.preemption.enabled = options.preempt;
+  if (!options.spot_plan.empty()) {
+    try {
+      FaultPlan plan = parse_fault_spec(options.spot_plan);
+      cfg.faults.events.insert(cfg.faults.events.end(), plan.events.begin(),
+                               plan.events.end());
+      cfg.faults.sort();
+    } catch (const std::exception& e) {
+      err << e.what() << "\n";
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Write --metrics-out / --explain / --trace-perfetto outputs for a finished
@@ -306,6 +377,7 @@ int run_multi_tenant(const CliOptions& options, std::ostream& out, std::ostream&
     }
   }
   cfg.chaos_seed = options.chaos_seed;
+  if (!apply_elastic(cfg, options, err)) return 2;
   std::optional<Simulation> sim_storage;
   try {
     sim_storage.emplace(cfg);
@@ -321,6 +393,8 @@ int run_multi_tenant(const CliOptions& options, std::ostream& out, std::ostream&
   arrivals.tenants = options.tenants;
   arrivals.seed = options.seed;
   arrivals.iterations_override = options.iterations;
+  arrivals.diurnal_amplitude = options.diurnal;
+  arrivals.diurnal_period = options.diurnal_period;
   if (options.workload_explicit) arrivals.mix = {options.workload};
   SubmissionStream stream;
   try {
@@ -350,8 +424,20 @@ int run_multi_tenant(const CliOptions& options, std::ostream& out, std::ostream&
         << " mean=" << format_fixed(s.mean, 1) << "s p95=" << format_fixed(s.p95, 1)
         << "s queueing=" << format_fixed(s.mean_queueing, 1) << "s\n";
   }
-  if (options.chaos_seed != 0 || !options.faults.empty()) {
+  if (options.chaos_seed != 0 || !options.faults.empty() || !options.spot_plan.empty()) {
     out << "recomputed_partitions=" << sim.recomputed_partitions() << "\n";
+    if (sim.injector() != nullptr && sim.injector()->spot_revocations() > 0) {
+      out << "spot_revocations=" << sim.injector()->spot_revocations() << "\n";
+    }
+  }
+  if (sim.autoscaler() != nullptr) {
+    out << "autoscale: scale_ups=" << sim.autoscaler()->scale_ups()
+        << " scale_downs=" << sim.autoscaler()->scale_downs()
+        << " provisioned_cost=" << format_fixed(sim.cluster().provisioned_cost(sim.sim().now()), 2)
+        << "\n";
+  }
+  if (options.preempt) {
+    out << "preemptions=" << sim.scheduler().preemptions() << "\n";
   }
   if (sim.trace() != nullptr) {
     if (!options.trace_csv.empty()) {
@@ -414,7 +500,7 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
   RunningStats makespans;
   LocalityCounts locality{};
   std::size_t failures = 0, oom = 0, losses = 0, relocations = 0;
-  std::size_t faults_injected = 0, blacklists = 0, recomputed = 0;
+  std::size_t faults_injected = 0, blacklists = 0, recomputed = 0, spot_revocations = 0;
   double cpu = 0.0, mem = 0.0;
 
   for (int rep = 0; rep < options.repetitions; ++rep) {
@@ -434,6 +520,7 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       }
     }
     cfg.chaos_seed = options.chaos_seed;
+    if (!apply_elastic(cfg, options, err)) return 2;
     // The injector validates the plan against the cluster size (node ids,
     // factors) — surface that as a CLI error, not an uncaught exception.
     std::optional<Simulation> sim_storage;
@@ -453,7 +540,10 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     oom += sim.total_oom_kills();
     losses += sim.total_executor_losses();
     relocations += sim.scheduler().relocations();
-    if (sim.injector() != nullptr) faults_injected += sim.injector()->injected();
+    if (sim.injector() != nullptr) {
+      faults_injected += sim.injector()->injected();
+      spot_revocations += sim.injector()->spot_revocations();
+    }
     blacklists += sim.scheduler().blacklist_events();
     recomputed += sim.recomputed_partitions();
     if (const UtilizationSampler* s = sim.sampler()) {
@@ -496,9 +586,11 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       << " RACK=" << locality[2] << " ANY=" << locality[3] << "\n"
       << "failures=" << failures << " oom_kills=" << oom << " executor_losses=" << losses
       << " relocations=" << relocations << "\n";
-  if (!options.faults.empty() || options.chaos_seed != 0) {
+  if (!options.faults.empty() || !options.spot_plan.empty() || options.chaos_seed != 0) {
     out << "faults_injected=" << faults_injected << " blacklists=" << blacklists
-        << " recomputed_partitions=" << recomputed << "\n";
+        << " recomputed_partitions=" << recomputed;
+    if (!options.spot_plan.empty()) out << " spot_revocations=" << spot_revocations;
+    out << "\n";
   }
   if (options.sample_utilization) {
     double n = static_cast<double>(options.repetitions);

@@ -44,6 +44,17 @@ struct CliOptions {
   int tenants = 2;                             // tenant pools for --arrivals
   PoolPolicy pool_policy = PoolPolicy::kFifo;  // cross-job policy
   SimTime duration = 600.0;                    // arrival generation horizon
+  /// Diurnal arrival shape (0 = flat Poisson; see ArrivalConfig).
+  double diurnal = 0.0;
+  SimTime diurnal_period = 120.0;
+  /// > 0: enable pending-pressure autoscaling with this many max minted
+  /// nodes (default "spot" class).
+  int autoscale = 0;
+  /// Spot revocation plan: fault-spec grammar, spot events only
+  /// (e.g. "spot@60:node=3:notice=20"); merged into --faults.
+  std::string spot_plan;
+  /// Enable fair-share preemption (needs --pool-policy fair to bite).
+  bool preempt = false;
   bool list_workloads = false;
   bool help = false;
 };
@@ -55,6 +66,8 @@ struct CliOptions {
 ///   --trace-csv PATH --trace-chrome PATH --trace-perfetto PATH
 ///   --metrics-out PATH --explain PATH --faults SPEC --chaos SEED
 ///   --arrivals RATE --tenants N --pool-policy fifo|fair --duration T
+///   --diurnal AMP --diurnal-period T
+///   --autoscale MAX --spot-plan SPEC --preempt
 ///   --sweep SPEC.json --sweep-threads N --sweep-out PATH
 ///   --list --help
 std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::ostream& err);

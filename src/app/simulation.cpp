@@ -65,6 +65,7 @@ Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
   rupam_ = dynamic_cast<RupamScheduler*>(scheduler_.get());
   scheduler_->configure_speculation(config_.speculation);
   scheduler_->configure_pools(config_.pools);
+  scheduler_->configure_preemption(config_.preemption);
 
   heartbeats_ = std::make_unique<HeartbeatService>(*cluster_, config_.heartbeat_period);
   heartbeats_->subscribe([this](const NodeMetrics& metrics) {
@@ -126,11 +127,114 @@ Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
     injector_->set_metrics(metrics_.get());
     injector_->arm();
   }
+
+  // Membership side effects: the scheduler subscribed first (inside its
+  // own constructor), so by the time this listener runs its indexes are
+  // already reconciled and it's safe to crash the executor / retire rows.
+  elastic_rng_ = Rng(config_.seed, /*stream=*/0x656c617374696331ULL);  // "elastic1"
+  membership_token_ = cluster_->subscribe_membership(
+      [this](NodeId node, NodeLifecycle state) { handle_membership(node, state); });
+
+  if (config_.autoscale.enabled) {
+    AutoscalerEnv aenv;
+    aenv.sim = &sim_;
+    aenv.cluster = cluster_.get();
+    aenv.mix = config_.autoscale_class;
+    if (aenv.mix.name.empty()) {
+      aenv.mix.name = "spot";
+      aenv.mix.base = hulk_spec();
+    }
+    aenv.pending_tasks = [this] { return scheduler_->pending_tasks(); };
+    aenv.free_slots = [this] { return scheduler_->free_slots_total(); };
+    aenv.node_running = [this](NodeId id) {
+      auto idx = static_cast<std::size_t>(id);
+      if (idx >= executors_.size()) return 0;
+      Executor* e = executors_[idx].get();
+      return e->alive() ? static_cast<int>(e->running_tasks()) : 0;
+    };
+    aenv.provision = [this](NodeSpec spec, SimTime boot_delay) {
+      return provision_node(std::move(spec), boot_delay);
+    };
+    AutoscaleConfig acfg = config_.autoscale;
+    if (acfg.seed == 0) acfg.seed = config_.seed;
+    autoscaler_ = std::make_unique<Autoscaler>(std::move(aenv), acfg);
+  }
 }
 
 Simulation::~Simulation() {
+  if (autoscaler_) autoscaler_->stop();
   if (heartbeats_) heartbeats_->stop();
   if (sampler_) sampler_->stop();
+  cluster_->unsubscribe_membership(membership_token_);
+}
+
+NodeId Simulation::provision_node(NodeSpec spec, SimTime boot_delay) {
+  NodeId id = cluster_->provision_node(std::move(spec), boot_delay);
+  Node& node = cluster_->node(id);
+  // Same sizing policy as construction: default Spark uses the static
+  // heap frozen at startup; RUPAM sizes to the node.
+  Bytes static_heap =
+      std::max(1.0 * kGiB, cluster_->min_node_memory() - config_.executor_memory_headroom);
+  ExecutorConfig ec;
+  ec.heap = config_.scheduler == SchedulerKind::kRupam
+                ? std::max(1.0 * kGiB, node.spec().memory - config_.executor_memory_headroom)
+                : static_heap;
+  ec.storage_fraction = config_.storage_fraction;
+  ec.task_slots = node.spec().cores;
+  ec.gc = config_.gc;
+  ec.oom_grace = config_.oom_grace;
+  executors_.push_back(std::make_unique<Executor>(sim_, node, id, ec, elastic_rng_.split()));
+  Executor* exec = executors_.back().get();
+  exec->set_peer_cache_probe([this, self = exec](const std::string& key) {
+    for (const auto& other : executors_) {
+      if (other.get() != self && other->cache().contains(key)) return true;
+    }
+    return false;
+  });
+  if (spans_) exec->set_span_trace(spans_.get());
+  // Registered before the boot event fires, so when the node turns live
+  // the scheduler already has a slot-accounting row for it.
+  scheduler_->register_executor(exec);
+  return id;
+}
+
+void Simulation::trace_membership(NodeId node, TraceEventType type) {
+  if (!trace_) return;
+  TraceEvent t;
+  t.time = sim_.now();
+  t.type = type;
+  t.node = node;
+  t.detail = cluster_->node(node).spec().name;
+  trace_->record(std::move(t));
+}
+
+void Simulation::handle_membership(NodeId node, NodeLifecycle state) {
+  switch (state) {
+    case NodeLifecycle::kProvisioning:
+      trace_membership(node, TraceEventType::kNodeProvisioned);
+      break;
+    case NodeLifecycle::kLive:
+      if (heartbeats_) heartbeats_->node_joined(node);
+      if (sampler_) sampler_->node_joined(node);
+      trace_membership(node, TraceEventType::kNodeJoined);
+      break;
+    case NodeLifecycle::kDraining:
+      trace_membership(node, TraceEventType::kNodeDraining);
+      break;
+    case NodeLifecycle::kDecommissioned: {
+      // Kill the executor (running attempts fail through the usual lost
+      // path), invalidate its map outputs, retire its heartbeat slot and
+      // sampler row. All idempotent — the fault injector may have done
+      // some of this already.
+      auto idx = static_cast<std::size_t>(node);
+      if (idx < executors_.size()) executors_[idx]->crash();
+      if (dag_) dag_->on_node_lost(node);
+      if (heartbeats_) heartbeats_->node_left(node);
+      if (sampler_) sampler_->node_left(node);
+      trace_membership(node, TraceEventType::kNodeDecommissioned);
+      break;
+    }
+  }
 }
 
 SimTime Simulation::run(const Application& app) {
@@ -141,6 +245,7 @@ SimTime Simulation::run(const Application& app) {
   SimTime finished_at = 0.0;
   heartbeats_->start();
   if (sampler_) sampler_->start();
+  if (autoscaler_) autoscaler_->start();
   dag_->run(app, [&] {
     done = true;
     finished_at = sim_.now();
@@ -158,6 +263,7 @@ SimTime Simulation::run(const Application& app) {
                  sim_.now(), "s) — possible scheduling livelock");
     }
   }
+  if (autoscaler_) autoscaler_->stop();
   heartbeats_->stop();
   if (sampler_) sampler_->stop();
   snapshot_gauges();
@@ -184,6 +290,7 @@ TenantRunReport Simulation::run(const SubmissionStream& stream) {
   std::size_t remaining = stream.size();
   heartbeats_->start();
   if (sampler_) sampler_->start();
+  if (autoscaler_) autoscaler_->start();
   for (const TimedSubmission& s : stream.items()) {
     sim_.schedule_at(started + s.at, [this, &s, &remaining, &finished_at] {
       dag_->submit_app(s.app, [this, &remaining, &finished_at] {
@@ -206,6 +313,7 @@ TenantRunReport Simulation::run(const SubmissionStream& stream) {
                  sim_.now(), "s) — possible scheduling livelock");
     }
   }
+  if (autoscaler_) autoscaler_->stop();
   heartbeats_->stop();
   if (sampler_) sampler_->stop();
   snapshot_gauges();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "app/arrivals.hpp"
+#include "cluster/autoscaler.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/heartbeat.hpp"
 #include "dag/dag_scheduler.hpp"
@@ -56,6 +57,14 @@ struct SimulationConfig {
   /// Cross-job scheduling policy and pool definitions (FIFO by default —
   /// identical to single-tenant behaviour).
   PoolConfig pools;
+  /// Fair-share preemption (off by default; needs kFair pools).
+  PreemptionConfig preemption;
+
+  /// Pending-pressure autoscaling (off by default). When enabled, nodes
+  /// of `autoscale_class` are minted/drained at runtime; an empty class
+  /// name falls back to a hulk-derived "spot" template.
+  AutoscaleConfig autoscale;
+  NodeClassMix autoscale_class;
 
   bool sample_utilization = false;
   SimTime sample_period = 1.0;
@@ -120,6 +129,15 @@ class Simulation {
   const FaultInjector* injector() const { return injector_.get(); }
   DagScheduler& dag() { return *dag_; }
   HeartbeatService& heartbeats() { return *heartbeats_; }
+  /// Non-null when autoscaling was enabled.
+  Autoscaler* autoscaler() { return autoscaler_.get(); }
+
+  /// Add a node (and its executor, sized by the configured policy) to the
+  /// running simulation. The node boots for `boot_delay` seconds, then
+  /// goes live and joins heartbeats/sampling; every subscribed layer sees
+  /// the membership transition. This is the autoscaler's provision hook,
+  /// public so tests can exercise mid-run joins directly.
+  NodeId provision_node(NodeSpec spec, SimTime boot_delay);
 
   /// Non-null when enable_metrics was set. End-of-run gauges (busy
   /// fractions, OOM totals) are refreshed by each run() before it returns.
@@ -152,14 +170,22 @@ class Simulation {
   RupamScheduler* rupam_ = nullptr;
   std::unique_ptr<DagScheduler> dag_;
   std::unique_ptr<UtilizationSampler> sampler_;
+  std::unique_ptr<Autoscaler> autoscaler_;
   std::unique_ptr<EventTrace> trace_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<DecisionAudit> audit_;
   std::unique_ptr<SpanTrace> spans_;
   OverheadProfiler* profiler_ = nullptr;
+  /// Jitter stream for runtime-provisioned executors — separate from the
+  /// construction-time stream so elastic runs never perturb the initial
+  /// executors' draws (golden traces depend on them).
+  Rng elastic_rng_{0, 0};
+  std::size_t membership_token_ = 0;
 
   void register_stage_parents(const Application& app);
+  void handle_membership(NodeId node, NodeLifecycle state);
+  void trace_membership(NodeId node, TraceEventType type);
   void snapshot_gauges();
 };
 

@@ -1,0 +1,111 @@
+#include "cluster/autoscaler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace rupam {
+
+Autoscaler::Autoscaler(AutoscalerEnv env, AutoscaleConfig config)
+    : env_(std::move(env)),
+      config_(config),
+      rng_(config.seed, /*stream=*/0x6175746f73636131ULL) {  // "autosca1"
+  if (env_.sim == nullptr || env_.cluster == nullptr) {
+    throw std::invalid_argument("Autoscaler: null environment");
+  }
+  if (!env_.pending_tasks || !env_.free_slots || !env_.node_running || !env_.provision) {
+    throw std::invalid_argument("Autoscaler: missing probe or provision hook");
+  }
+  if (config_.interval <= 0.0) throw std::invalid_argument("Autoscaler: interval must be > 0");
+  if (config_.scale_up_step < 1) {
+    throw std::invalid_argument("Autoscaler: scale_up_step must be >= 1");
+  }
+  if (config_.max_nodes < 0) throw std::invalid_argument("Autoscaler: max_nodes must be >= 0");
+  if (env_.mix.name.empty()) throw std::invalid_argument("Autoscaler: node class needs a name");
+  // Minted nodes continue the class's numbering after the static fleet
+  // ("spot7" when the base fleet ends at "spot6").
+  next_index_ = static_cast<int>(env_.cluster->nodes_of_class(env_.mix.name).size());
+}
+
+Autoscaler::~Autoscaler() { stop(); }
+
+void Autoscaler::start() {
+  if (timer_.pending()) throw std::logic_error("Autoscaler: already started");
+  timer_ = env_.sim->schedule_after(config_.interval, [this] { tick(); });
+}
+
+void Autoscaler::stop() { timer_.cancel(); }
+
+std::size_t Autoscaler::owned_alive() const {
+  std::size_t n = 0;
+  for (NodeId id : minted_) {
+    if (env_.cluster->member(id)) ++n;
+  }
+  return n;
+}
+
+void Autoscaler::tick() {
+  timer_ = env_.sim->schedule_after(config_.interval, [this] { tick(); });
+  double backlog = static_cast<double>(env_.pending_tasks()) -
+                   static_cast<double>(env_.free_slots());
+  // Reap drained nodes whose last task finished, whatever the backlog —
+  // a draining node can't take work, so keeping it is pure cost.
+  for (auto it = minted_.rbegin(); it != minted_.rend(); ++it) {
+    NodeId id = *it;
+    if (!env_.cluster->member(id)) continue;
+    if (env_.cluster->lifecycle(id) != NodeLifecycle::kDraining) continue;
+    if (env_.node_running(id) > 0) continue;
+    env_.cluster->decommission(id);
+    RUPAM_INFO(env_.sim->now(), "autoscale: node ", id, " decommissioned");
+  }
+  if (backlog >= config_.scale_up_pressure) {
+    idle_since_.clear();  // under pressure nothing is idle for long
+    scale_up(backlog);
+  } else {
+    scale_down();
+  }
+}
+
+void Autoscaler::scale_up(double backlog) {
+  int capacity = config_.max_nodes - static_cast<int>(owned_alive());
+  int want = std::min(config_.scale_up_step, capacity);
+  for (int i = 0; i < want; ++i) {
+    NodeSpec spec = generate_node(env_.mix, rng_, next_index_++);
+    NodeId id = env_.provision(std::move(spec), config_.boot_delay);
+    minted_.push_back(id);
+    ++scale_ups_;
+    RUPAM_INFO(env_.sim->now(), "autoscale: provisioning node ", id, " (backlog ",
+               backlog, ")");
+  }
+}
+
+void Autoscaler::scale_down() {
+  SimTime now = env_.sim->now();
+  // Refresh idle clocks for the minted nodes that could take work.
+  for (NodeId id : minted_) {
+    bool live = env_.cluster->member(id) &&
+                env_.cluster->lifecycle(id) == NodeLifecycle::kLive &&
+                env_.cluster->node(id).online();
+    if (!live || env_.node_running(id) > 0) {
+      idle_since_.erase(id);
+      continue;
+    }
+    idle_since_.try_emplace(id, now);
+  }
+  // Drain at most one node per tick, newest first (LIFO keeps the
+  // longest-lived minted nodes — the ones with warm caches — around).
+  for (auto it = minted_.rbegin(); it != minted_.rend(); ++it) {
+    NodeId id = *it;
+    auto idle = idle_since_.find(id);
+    if (idle == idle_since_.end()) continue;
+    if (now - idle->second < config_.idle_drain_after) continue;
+    env_.cluster->begin_drain(id);
+    idle_since_.erase(idle);
+    ++scale_downs_;
+    RUPAM_INFO(now, "autoscale: draining idle node ", id);
+    break;
+  }
+}
+
+}  // namespace rupam

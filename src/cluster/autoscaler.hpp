@@ -1,0 +1,105 @@
+// Pending-pressure autoscaler: Spark-style dynamic allocation at the
+// node level.
+//
+// Every `interval` seconds the autoscaler compares the scheduler's task
+// backlog against the fleet's free slots. Sustained backlog provisions
+// fresh nodes from a FleetSpec class template (same seeded jitter draws
+// a bigger static fleet would have used, so minted nodes are
+// reproducible); sustained idleness drains the most recently minted
+// node and decommissions it once its last task finishes. Only nodes the
+// autoscaler minted are ever drained — the base fleet is untouchable.
+//
+// The autoscaler never talks to the scheduler or executors directly:
+// the composition root (Simulation) hands it probe and provision
+// closures, keeping src/cluster free of sched/exec dependencies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/fleet.hpp"
+#include "common/rng.hpp"
+#include "simcore/simulator.hpp"
+
+namespace rupam {
+
+struct AutoscaleConfig {
+  bool enabled = false;
+  /// Seconds between policy evaluations.
+  SimTime interval = 5.0;
+  /// Provision when backlog (pending tasks minus free slots) reaches
+  /// this many tasks.
+  double scale_up_pressure = 2.0;
+  /// Nodes minted per scale-up trigger.
+  int scale_up_step = 1;
+  /// Provisioning latency for minted nodes (cloud boot + executor
+  /// registration).
+  SimTime boot_delay = 8.0;
+  /// A minted node idle this long (and no backlog) gets drained.
+  SimTime idle_drain_after = 30.0;
+  /// Ceiling on minted nodes alive at once (provisioning + live +
+  /// draining).
+  int max_nodes = 8;
+  /// Seed for the minted nodes' jitter stream (0 = the composition root
+  /// substitutes its own run seed).
+  std::uint64_t seed = 0;
+};
+
+struct AutoscalerEnv {
+  Simulator* sim = nullptr;
+  Cluster* cluster = nullptr;
+  /// Class template minted nodes are drawn from.
+  NodeClassMix mix;
+  /// Scheduler probes (wired by the composition root).
+  std::function<std::size_t()> pending_tasks;
+  std::function<int()> free_slots;
+  /// Running tasks on one node (0 when the executor is down or absent).
+  std::function<int(NodeId)> node_running;
+  /// Create the node AND its executor; must leave the node provisioning
+  /// with the given boot delay and return its id.
+  std::function<NodeId(NodeSpec, SimTime)> provision;
+};
+
+class Autoscaler {
+ public:
+  /// Throws std::invalid_argument on null env members or a bad config.
+  Autoscaler(AutoscalerEnv env, AutoscaleConfig config);
+
+  Autoscaler(const Autoscaler&) = delete;
+  Autoscaler& operator=(const Autoscaler&) = delete;
+  ~Autoscaler();
+
+  /// Arm the periodic policy tick. Call once, before run().
+  void start();
+  void stop();
+
+  const AutoscaleConfig& config() const { return config_; }
+  /// Minted nodes currently provisioning, live, or draining.
+  std::size_t owned_alive() const;
+  std::size_t scale_ups() const { return scale_ups_; }
+  std::size_t scale_downs() const { return scale_downs_; }
+  /// Every node id this autoscaler ever minted, in mint order.
+  const std::vector<NodeId>& minted() const { return minted_; }
+
+ private:
+  void tick();
+  void scale_up(double backlog);
+  void scale_down();
+
+  AutoscalerEnv env_;
+  AutoscaleConfig config_;
+  Rng rng_;
+  EventHandle timer_;
+  std::vector<NodeId> minted_;
+  /// First tick at which each owned live node was seen idle; erased the
+  /// moment it runs something again.
+  std::map<NodeId, SimTime> idle_since_;
+  int next_index_ = 0;
+  std::size_t scale_ups_ = 0;
+  std::size_t scale_downs_ = 0;
+};
+
+}  // namespace rupam

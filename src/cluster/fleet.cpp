@@ -64,6 +64,9 @@ void FleetSpec::validate() const {
     if (mix.base.gpus < 0) {
       spec_error("class '" + mix.name + "': gpus must be >= 0");
     }
+    if (mix.base.hourly_cost < 0.0) {
+      spec_error("class '" + mix.name + "': hourly_cost must be >= 0");
+    }
     check_jitter(mix.name, "cpu_jitter", mix.cpu_jitter);
     check_jitter(mix.name, "mem_jitter", mix.mem_jitter);
     check_jitter(mix.name, "net_jitter", mix.net_jitter);
@@ -72,6 +75,27 @@ void FleetSpec::validate() const {
       spec_error("class '" + mix.name + "': gpu_fraction must be <= 1");
     }
   }
+}
+
+NodeSpec generate_node(const NodeClassMix& mix, Rng& rng, int index) {
+  NodeSpec s = mix.base;
+  s.node_class = mix.name;
+  s.name = mix.name + std::to_string(index + 1);
+  // Draws happen unconditionally, in a fixed order, so switching one
+  // jitter knob on or off never perturbs the other fields.
+  double cpu = rng.uniform(1.0 - mix.cpu_jitter, 1.0 + mix.cpu_jitter);
+  double mem = rng.uniform(1.0 - mix.mem_jitter, 1.0 + mix.mem_jitter);
+  double net = rng.uniform(1.0 - mix.net_jitter, 1.0 + mix.net_jitter);
+  double dsk = rng.uniform(1.0 - mix.disk_jitter, 1.0 + mix.disk_jitter);
+  double gpu_draw = rng.uniform();
+  s.cpu_ghz *= cpu;
+  s.cpu_perf *= cpu;
+  s.memory *= mem;
+  s.net_bandwidth *= net;
+  s.disk_read_bw *= dsk;
+  s.disk_write_bw *= dsk;
+  if (mix.gpu_fraction >= 0.0 && gpu_draw >= mix.gpu_fraction) s.gpus = 0;
+  return s;
 }
 
 std::vector<NodeSpec> generate_fleet(const FleetSpec& spec) {
@@ -84,24 +108,7 @@ std::vector<NodeSpec> generate_fleet(const FleetSpec& spec) {
     // nodes generated for the classes before it.
     Rng rng = root.split();
     for (int i = 0; i < mix.count; ++i) {
-      NodeSpec s = mix.base;
-      s.node_class = mix.name;
-      s.name = mix.name + std::to_string(i + 1);
-      // Draws happen unconditionally, in a fixed order, so switching one
-      // jitter knob on or off never perturbs the other fields.
-      double cpu = rng.uniform(1.0 - mix.cpu_jitter, 1.0 + mix.cpu_jitter);
-      double mem = rng.uniform(1.0 - mix.mem_jitter, 1.0 + mix.mem_jitter);
-      double net = rng.uniform(1.0 - mix.net_jitter, 1.0 + mix.net_jitter);
-      double dsk = rng.uniform(1.0 - mix.disk_jitter, 1.0 + mix.disk_jitter);
-      double gpu_draw = rng.uniform();
-      s.cpu_ghz *= cpu;
-      s.cpu_perf *= cpu;
-      s.memory *= mem;
-      s.net_bandwidth *= net;
-      s.disk_read_bw *= dsk;
-      s.disk_write_bw *= dsk;
-      if (mix.gpu_fraction >= 0.0 && gpu_draw >= mix.gpu_fraction) s.gpus = 0;
-      out.push_back(std::move(s));
+      out.push_back(generate_node(mix, rng, i));
     }
   }
   return out;
@@ -215,6 +222,8 @@ NodeClassMix parse_class(const JsonValue& v) {
       mix.base.gpus = require_int(val, "gpus");
     } else if (key == "gpu_speedup") {
       mix.base.gpu_speedup = require_number(val, "gpu_speedup");
+    } else if (key == "hourly_cost") {
+      mix.base.hourly_cost = require_number(val, "hourly_cost");
     } else if (key == "cpu_jitter") {
       mix.cpu_jitter = require_number(val, "cpu_jitter");
     } else if (key == "mem_jitter") {
@@ -307,6 +316,7 @@ std::string fleet_to_json(const FleetSpec& spec) {
     w.key("disk_capacity_gb").raw(json_number(to_gib(mix.base.disk_capacity), 12));
     w.key("gpus").value(mix.base.gpus);
     w.key("gpu_speedup").raw(json_number(mix.base.gpu_speedup, 12));
+    w.key("hourly_cost").raw(json_number(mix.base.hourly_cost, 12));
     w.key("cpu_jitter").raw(json_number(mix.cpu_jitter, 12));
     w.key("mem_jitter").raw(json_number(mix.mem_jitter, 12));
     w.key("net_jitter").raw(json_number(mix.net_jitter, 12));

@@ -14,6 +14,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/node_spec.hpp"
+#include "common/rng.hpp"
 
 namespace rupam {
 
@@ -54,6 +55,13 @@ struct FleetSpec {
 /// Generate the per-node specs. Deterministic: depends only on the spec
 /// contents (including seed), never on global state.
 std::vector<NodeSpec> generate_fleet(const FleetSpec& spec);
+
+/// Generate one node of `mix` with per-node jitter drawn from `rng` —
+/// the exact draw sequence generate_fleet uses, exposed so the
+/// autoscaler can mint node `index` of a class mid-run and get the same
+/// spec a bigger static fleet would have had. `index` is zero-based;
+/// the node is named "<mix.name><index+1>".
+NodeSpec generate_node(const NodeClassMix& mix, Rng& rng, int index);
 
 /// Generate and add every node to `cluster`; returns ids in creation
 /// order (class order, then index within class — like build_hydra).

@@ -25,9 +25,21 @@ class HeartbeatService {
 
   void subscribe(Listener listener);
 
-  /// Begin emitting heartbeats (first beats land within one period).
+  /// Begin emitting heartbeats (first beats land within one period). Only
+  /// current cluster members get a wheel entry; nodes that join later are
+  /// added with node_joined().
   void start();
   void stop();
+
+  /// Give a newly joined node a wheel entry (no-op before start(), or if
+  /// the node already beats). Its phase is a deterministic golden-ratio
+  /// stagger of the id, so join order never shifts other nodes' beats.
+  void node_joined(NodeId node);
+  /// Retire a decommissioned node's wheel entry: it never beats again, not
+  /// even as a silent cycle (no ghost beats).
+  void node_left(NodeId node);
+  /// True while the node owns a live wheel entry.
+  bool beating(NodeId node) const;
 
   /// Fault-injection lever: while dropped, a node's beats are swallowed
   /// (the node keeps running — this models a flaky master link, not a
@@ -40,7 +52,10 @@ class HeartbeatService {
   std::size_t queue_entries() const { return timers_ ? timers_->queue_entries() : 0u; }
 
  private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
   void beat(NodeId id);
+  SimTime joiner_phase(NodeId id) const;
 
   Cluster& cluster_;
   SimTime period_;
@@ -48,6 +63,7 @@ class HeartbeatService {
   std::vector<Listener> listeners_;
   std::unique_ptr<PeriodicTaskSet> timers_;
   std::vector<bool> dropped_;
+  std::vector<std::size_t> slots_;  // NodeId -> wheel member index
 };
 
 }  // namespace rupam

@@ -37,6 +37,9 @@ class NodeLivenessTracker {
   bool dead(NodeId node) const;
   std::size_t tracked() const { return nodes_.size(); }
   void clear() { nodes_.clear(); }
+  /// Stop tracking a node entirely (decommissioned: it is neither dead nor
+  /// alive, it is gone). Future sweeps never report it.
+  void forget(NodeId node) { nodes_.erase(node); }
 
  private:
   struct State {

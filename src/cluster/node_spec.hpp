@@ -39,6 +39,11 @@ struct NodeSpec {
   /// Speedup of a GPU-accelerable compute phase versus one reference core.
   double gpu_speedup = 12.0;
 
+  /// Cost-units per hour of fleet membership (cloud billing model). Zero
+  /// for on-prem nodes; the elastic-fleet cost gates only count nodes with
+  /// a positive rate (see Cluster::provisioned_cost).
+  double hourly_cost = 0.0;
+
   /// Relative single-core speed versus the reference core.
   double core_speed() const { return cpu_perf; }
 

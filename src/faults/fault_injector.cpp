@@ -78,10 +78,17 @@ void FaultInjector::apply(const FaultEvent& e) {
     case FaultKind::kDiskDegrade:
       scale_resource(e.node, ResourceKind::kDisk, e.factor);
       break;
+    case FaultKind::kSpotRevoke:
+      // Drain immediately (no new launches; running tasks may still
+      // finish inside the notice window), then reclaim for good.
+      env_.cluster->begin_drain(e.node);
+      env_.sim->schedule_after(e.duration, [this, node = e.node] { revoke_node(node); });
+      break;
   }
 }
 
 void FaultInjector::crash_node(NodeId node) {
+  if (!env_.cluster->member(node)) return;  // decommissioned nodes can't crash
   Node& n = env_.cluster->node(node);
   if (!n.online()) return;  // double-crash is a no-op
   ++crashes_;
@@ -96,6 +103,10 @@ void FaultInjector::crash_node(NodeId node) {
 }
 
 void FaultInjector::recover_node(NodeId node) {
+  // Decommissioned nodes are gone for good: a stale recovery (e.g. the
+  // auto-recover scheduled by a crash that raced a spot reclaim) must not
+  // resurrect them.
+  if (!env_.cluster->member(node)) return;
   Node& n = env_.cluster->node(node);
   if (n.online()) return;
   ++recoveries_;
@@ -104,6 +115,24 @@ void FaultInjector::recover_node(NodeId node) {
     env_.executors[static_cast<std::size_t>(node)]->force_restart();
   }
   RUPAM_INFO(env_.sim->now(), "fault: node ", node, " back online");
+}
+
+void FaultInjector::revoke_node(NodeId node) {
+  if (!env_.cluster->member(node)) return;  // already reclaimed
+  ++spot_revocations_;
+  // Membership listeners run first (scheduler purges its per-node indexes,
+  // the app layer kills the executor and retires heartbeat/sampler rows);
+  // the direct executor/DAG pokes below make standalone use — injector
+  // without the app-layer listener — behave identically. Both are
+  // idempotent.
+  env_.cluster->decommission(node);
+  if (static_cast<std::size_t>(node) < env_.executors.size()) {
+    env_.executors[static_cast<std::size_t>(node)]->crash();
+  }
+  if (env_.dag != nullptr) {
+    partitions_resubmitted_ += env_.dag->on_node_lost(node);
+  }
+  RUPAM_INFO(env_.sim->now(), "fault: node ", node, " spot-reclaimed");
 }
 
 void FaultInjector::scale_resource(NodeId node, ResourceKind resource, double factor) {

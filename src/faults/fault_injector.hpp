@@ -7,6 +7,12 @@
 // FetchFailed recovery path resubmits the lost partitions. Recovery events
 // for bounded faults (crash downtime, slowdown/hbdrop windows) are
 // scheduled automatically.
+//
+// Spot revocation (kSpotRevoke) is different from a crash: the node is
+// drained through the cluster lifecycle immediately (no new launches) and
+// permanently decommissioned when the notice window expires — it never
+// recovers, and membership listeners (scheduler, heartbeats, sampler) see
+// the transition rather than a silent offline flip.
 #pragma once
 
 #include <vector>
@@ -53,6 +59,8 @@ class FaultInjector {
   std::size_t injected() const { return injected_; }
   std::size_t crashes() const { return crashes_; }
   std::size_t recoveries() const { return recoveries_; }
+  /// Spot reclaims that completed (node permanently decommissioned).
+  std::size_t spot_revocations() const { return spot_revocations_; }
   /// Partitions the DAG resubmitted because a crash ate their map output.
   std::size_t partitions_resubmitted() const { return partitions_resubmitted_; }
 
@@ -60,6 +68,7 @@ class FaultInjector {
   void apply(const FaultEvent& e);
   void crash_node(NodeId node);
   void recover_node(NodeId node);
+  void revoke_node(NodeId node);
   void scale_resource(NodeId node, ResourceKind resource, double factor);
   void trace_event(const FaultEvent& e, const std::string& detail);
 
@@ -70,6 +79,7 @@ class FaultInjector {
   std::size_t injected_ = 0;
   std::size_t crashes_ = 0;
   std::size_t recoveries_ = 0;
+  std::size_t spot_revocations_ = 0;
   std::size_t partitions_resubmitted_ = 0;
 };
 

@@ -17,6 +17,7 @@ std::string_view to_string(FaultKind kind) {
     case FaultKind::kSlowdown: return "slow";
     case FaultKind::kHeartbeatDrop: return "hbdrop";
     case FaultKind::kDiskDegrade: return "degrade";
+    case FaultKind::kSpotRevoke: return "spot";
   }
   return "?";
 }
@@ -39,6 +40,9 @@ std::string FaultEvent::describe() const {
       break;
     case FaultKind::kDiskDegrade:
       os << " factor=" << format_fixed(factor, 3);
+      break;
+    case FaultKind::kSpotRevoke:
+      os << " notice=" << format_fixed(duration, 3);
       break;
   }
   return os.str();
@@ -123,6 +127,8 @@ FaultPlan parse_fault_spec(const std::string& spec) {
       e.kind = FaultKind::kHeartbeatDrop;
     } else if (kind == "degrade") {
       e.kind = FaultKind::kDiskDegrade;
+    } else if (kind == "spot") {
+      e.kind = FaultKind::kSpotRevoke;
     } else {
       throw std::invalid_argument("fault spec: unknown kind '" + kind + "'");
     }
@@ -139,7 +145,7 @@ FaultPlan parse_fault_spec(const std::string& spec) {
       if (key == "node") {
         e.node = static_cast<NodeId>(parse_number(value, "node"));
         has_node = true;
-      } else if (key == "down" || key == "for") {
+      } else if (key == "down" || key == "for" || key == "notice") {
         e.duration = parse_number(value, "duration");
       } else if (key == "factor") {
         e.factor = parse_number(value, "factor");

@@ -23,6 +23,7 @@ enum class FaultKind : std::uint8_t {
   kSlowdown,       // one resource's capacity scaled by `factor` for `duration`
   kHeartbeatDrop,  // beats swallowed for `duration` (node keeps running)
   kDiskDegrade,    // permanent disk capacity scale (failing spindle)
+  kSpotRevoke,     // spot-market reclaim: drain now, decommission after notice
 };
 
 std::string_view to_string(FaultKind kind);
@@ -33,7 +34,9 @@ struct FaultEvent {
   NodeId node = kInvalidNode;
   /// kCrash: downtime before auto-recovery (0 = stays down until an
   /// explicit kRecover). kSlowdown/kHeartbeatDrop: how long the fault
-  /// lasts (0 = permanent). Ignored by kRecover/kDiskDegrade.
+  /// lasts (0 = permanent). kSpotRevoke: the revocation notice — seconds
+  /// between the drain signal and the permanent decommission (0 = the
+  /// node vanishes immediately). Ignored by kRecover/kDiskDegrade.
   SimTime duration = 0.0;
   /// Capacity scale in (0, 1] for kSlowdown/kDiskDegrade.
   double factor = 1.0;
@@ -58,9 +61,10 @@ struct FaultPlan {
 
 /// Parse the CLI fault spec: semicolon-separated events of the form
 ///   kind@time[:key=value]...
-/// with kinds crash|recover|slow|hbdrop|degrade and keys
-///   node=N  down=SECONDS  for=SECONDS  factor=F  res=cpu|disk|net
-/// e.g. "crash@60:node=3:down=40;slow@30:node=0:res=cpu:factor=0.3:for=60".
+/// with kinds crash|recover|slow|hbdrop|degrade|spot and keys
+///   node=N  down=SECONDS  for=SECONDS  notice=SECONDS  factor=F
+///   res=cpu|disk|net
+/// e.g. "crash@60:node=3:down=40;spot@90:node=5:notice=30".
 /// Throws std::invalid_argument with a message naming the bad token.
 FaultPlan parse_fault_spec(const std::string& spec);
 

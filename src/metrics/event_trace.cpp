@@ -22,6 +22,11 @@ std::string_view to_string(TraceEventType type) {
     case TraceEventType::kNodeBlacklisted: return "node_blacklisted";
     case TraceEventType::kNodeUnblacklisted: return "node_unblacklisted";
     case TraceEventType::kPartitionResubmitted: return "partition_resubmitted";
+    case TraceEventType::kNodeProvisioned: return "node_provisioned";
+    case TraceEventType::kNodeJoined: return "node_joined";
+    case TraceEventType::kNodeDraining: return "node_draining";
+    case TraceEventType::kNodeDecommissioned: return "node_decommissioned";
+    case TraceEventType::kTaskPreempted: return "task_preempted";
   }
   return "?";
 }
@@ -88,6 +93,11 @@ void EventTrace::write_chrome_tracing(std::ostream& os) const {
       case TraceEventType::kNodeBlacklisted:
       case TraceEventType::kNodeUnblacklisted:
       case TraceEventType::kPartitionResubmitted:
+      case TraceEventType::kNodeProvisioned:
+      case TraceEventType::kNodeJoined:
+      case TraceEventType::kNodeDraining:
+      case TraceEventType::kNodeDecommissioned:
+      case TraceEventType::kTaskPreempted:
       case TraceEventType::kStageSubmitted: {
         emit("{\"name\": \"" + std::string(to_string(e.type)) + "\", \"ph\": \"i\", \"ts\": " +
              format_fixed(ts_us, 3) + ", \"pid\": " +

@@ -28,8 +28,14 @@ enum class TraceEventType : std::uint8_t {
   kNodeBlacklisted,        // failure count tripped the blacklist
   kNodeUnblacklisted,      // timed un-blacklist elapsed
   kPartitionResubmitted,   // lost map output → parent partition recompute
+  // Elastic-fleet lifecycle & preemption events.
+  kNodeProvisioned,        // autoscale-up decision: instance requested
+  kNodeJoined,             // boot finished: node is live and schedulable
+  kNodeDraining,           // scale-down or spot notice: no new tasks
+  kNodeDecommissioned,     // node permanently left the fleet
+  kTaskPreempted,          // FAIR reclaim: attempt killed, task requeued
 };
-inline constexpr int kNumTraceEventTypes = 13;
+inline constexpr int kNumTraceEventTypes = 18;
 
 std::string_view to_string(TraceEventType type);
 

@@ -7,20 +7,26 @@ namespace rupam {
 UtilizationSampler::UtilizationSampler(Cluster& cluster, SimTime period)
     : cluster_(cluster), period_(period) {
   if (period <= 0.0) throw std::invalid_argument("UtilizationSampler: period must be > 0");
-  auto n = cluster_.size();
+  ensure_capacity(cluster_.size(), /*active=*/true);
+}
+
+void UtilizationSampler::ensure_capacity(std::size_t n, bool active) {
+  if (cpu_.size() >= n) return;
   cpu_.resize(n);
   mem_.resize(n);
   net_.resize(n);
   disk_.resize(n);
-  last_net_bytes_.assign(n, 0.0);
-  last_disk_bytes_.assign(n, 0.0);
+  last_net_bytes_.resize(n, 0.0);
+  last_disk_bytes_.resize(n, 0.0);
+  active_.resize(n, active ? 1 : 0);
 }
 
 void UtilizationSampler::start() {
   if (running_) return;
   running_ = true;
   last_sample_ = cluster_.sim().now();
-  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+  for (std::size_t i = 0; i < cpu_.size(); ++i) {
+    if (!active_[i]) continue;
     auto id = static_cast<NodeId>(i);
     last_net_bytes_[i] = cluster_.node(id).net_bytes_total();
     last_disk_bytes_[i] = cluster_.node(id).disk_bytes_total();
@@ -33,12 +39,34 @@ void UtilizationSampler::stop() {
   next_.cancel();
 }
 
+void UtilizationSampler::node_joined(NodeId node) {
+  auto idx = static_cast<std::size_t>(node);
+  if (idx >= cluster_.size()) throw std::out_of_range("UtilizationSampler: bad node id");
+  // Nodes created after construction default to inactive until they join.
+  ensure_capacity(cluster_.size(), /*active=*/false);
+  if (active_[idx]) return;
+  active_[idx] = 1;
+  last_net_bytes_[idx] = cluster_.node(node).net_bytes_total();
+  last_disk_bytes_[idx] = cluster_.node(node).disk_bytes_total();
+}
+
+void UtilizationSampler::node_left(NodeId node) {
+  auto idx = static_cast<std::size_t>(node);
+  if (idx < active_.size()) active_[idx] = 0;
+}
+
+bool UtilizationSampler::sampling(NodeId node) const {
+  auto idx = static_cast<std::size_t>(node);
+  return idx < active_.size() && active_[idx] != 0;
+}
+
 void UtilizationSampler::sample() {
   if (!running_) return;
   SimTime now = cluster_.sim().now();
   SimTime dt = now - last_sample_;
   last_sample_ = now;
-  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+  for (std::size_t i = 0; i < cpu_.size(); ++i) {
+    if (!active_[i]) continue;
     auto id = static_cast<NodeId>(i);
     Node& node = cluster_.node(id);
     cpu_[i].add(now, node.cpu().utilization());

@@ -16,6 +16,16 @@ class UtilizationSampler {
   void start();
   void stop();
 
+  /// Begin sampling a node that joined after construction: its series start
+  /// at the join instant (no retroactive zeros) and its net/disk rates are
+  /// baselined against the counters at join time.
+  void node_joined(NodeId node);
+  /// Stop sampling a decommissioned node: its series simply end, so its
+  /// averages cover its membership window, not the full run wall time.
+  void node_left(NodeId node);
+  /// True while the node is being sampled.
+  bool sampling(NodeId node) const;
+
   /// Per-node series, indexed by NodeId.
   const TimeSeries& cpu_util(NodeId node) const;      // fraction [0,1]
   const TimeSeries& memory_used(NodeId node) const;   // bytes
@@ -38,11 +48,13 @@ class UtilizationSampler {
 
  private:
   void sample();
+  void ensure_capacity(std::size_t n, bool active);
 
   Cluster& cluster_;
   SimTime period_;
   bool running_ = false;
   EventHandle next_;
+  std::vector<char> active_;  // nodes currently sampled
   std::vector<TimeSeries> cpu_;
   std::vector<TimeSeries> mem_;
   std::vector<TimeSeries> net_;

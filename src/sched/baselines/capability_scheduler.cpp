@@ -43,6 +43,7 @@ std::vector<NodeId> CapabilityScheduler::ranked_nodes(ResourceKind kind) const {
   std::vector<std::pair<double, NodeId>> scored;
   scored.reserve(ids.size());
   for (NodeId id : ids) {
+    if (!cluster().schedulable(id)) continue;  // draining/decommissioned
     NodeMetrics m = cluster().node(id).metrics();
     // Capability first; break ties toward the emptier executor so the
     // stage spreads instead of serializing on the single best node.

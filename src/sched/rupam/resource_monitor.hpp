@@ -44,6 +44,12 @@ class ResourceMonitor {
     latest_.clear();
     liveness_.clear();
   }
+  /// Drop one node's row entirely (decommissioned: no metrics, no liveness
+  /// state, never ranked again).
+  void forget(NodeId node) {
+    latest_.erase(node);
+    liveness_.forget(node);
+  }
 
   /// The per-resource priority queue: live nodes passing `admit`, best
   /// first.

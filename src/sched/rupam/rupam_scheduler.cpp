@@ -32,6 +32,21 @@ void RupamScheduler::fault_tolerance_changed() {
   }
 }
 
+void RupamScheduler::node_membership_changed(NodeId node, NodeLifecycle state) {
+  if (state == NodeLifecycle::kLive) {
+    // Joined (or finished booting): index its devices. Keep gpu_nodes_
+    // sorted so iteration order matches the construction-time scan.
+    if (cluster().node(node).gpus().total() > 0 &&
+        !std::binary_search(gpu_nodes_.begin(), gpu_nodes_.end(), node)) {
+      gpu_nodes_.insert(std::upper_bound(gpu_nodes_.begin(), gpu_nodes_.end(), node), node);
+    }
+  } else if (state == NodeLifecycle::kDecommissioned) {
+    gpu_nodes_.erase(std::remove(gpu_nodes_.begin(), gpu_nodes_.end(), node),
+                     gpu_nodes_.end());
+    rm_.forget(node);
+  }
+}
+
 void RupamScheduler::stage_submitted(StageState& stage) {
   for (std::size_t i = 0; i < stage.tasks.size(); ++i) {
     tm_.enqueue(stage.tasks[i].spec, stage.set.stage, i);
@@ -72,7 +87,10 @@ void RupamScheduler::seed_monitor() {
   // The heartbeat stream is the architectural source of RM data; a
   // dispatch round additionally refreshes the snapshot so admission checks
   // (memory guard, over-commit limits) never race a 1-second-stale view.
-  for (NodeId id : cluster().node_ids()) rm_.record(cluster().node(id).metrics());
+  for (NodeId id : cluster().node_ids()) {
+    if (!cluster().member(id)) continue;  // decommissioned: no RM row
+    rm_.record(cluster().node(id).metrics());
+  }
 }
 
 bool RupamScheduler::node_available(const NodeMetrics& metrics, ResourceKind kind) const {

@@ -77,6 +77,7 @@ class RupamScheduler : public SchedulerBase {
  protected:
   void try_dispatch() override;
   void fault_tolerance_changed() override;
+  void node_membership_changed(NodeId node, NodeLifecycle state) override;
   void stage_submitted(StageState& stage) override;
   void task_pending_changed(StageState& stage, std::size_t index, bool pending) override;
   void task_succeeded(StageState& stage, TaskState& task, const TaskMetrics& metrics) override;

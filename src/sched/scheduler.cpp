@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <tuple>
 
 #include "common/log.hpp"
 #include "common/stats.hpp"
@@ -27,29 +28,76 @@ SchedulerBase::SchedulerBase(SchedulerEnv env) : env_(std::move(env)) {
     throw std::invalid_argument("SchedulerBase: executor list must match cluster size");
   }
   live_attempts_.assign(env_.executors.size(), {});
-  for (Executor* e : env_.executors) {
-    if (e == nullptr) throw std::invalid_argument("SchedulerBase: null executor");
-    NodeId node = e->node().id();
-    maybe_free_.insert(node);
-    e->set_ready_handler([this, node](ExecutorId) {
-      note_node_maybe_free(node);
-      request_dispatch();
-    });
-    e->set_lost_handler([this, e](ExecutorId id) {
-      trace(TraceEventType::kExecutorLost, -1, -1, 0, e->node().id(),
-            "executor " + std::to_string(id) + " lost");
-      request_dispatch();
-    });
-    e->cache().set_change_listener([this, node](const std::string& key, bool present) {
-      on_cache_change(node, key, present);
-    });
-  }
+  for (Executor* e : env_.executors) wire_executor(e);
+  // Subscribing in the base constructor means the scheduler's indexes are
+  // reconciled before any later subscriber (the Simulation's side-effect
+  // listener) reacts to the same transition.
+  membership_token_ = env_.cluster->subscribe_membership(
+      [this](NodeId node, NodeLifecycle state) { handle_membership(node, state); });
 }
 
 SchedulerBase::~SchedulerBase() {
+  env_.cluster->unsubscribe_membership(membership_token_);
   for (Executor* e : env_.executors) e->cache().set_change_listener(nullptr);
   speculation_timer_.cancel();
   fault_tolerance_timer_.cancel();
+  preemption_timer_.cancel();
+}
+
+void SchedulerBase::wire_executor(Executor* e) {
+  if (e == nullptr) throw std::invalid_argument("SchedulerBase: null executor");
+  NodeId node = e->node().id();
+  maybe_free_.insert(node);
+  e->set_ready_handler([this, node](ExecutorId) {
+    note_node_maybe_free(node);
+    request_dispatch();
+  });
+  e->set_lost_handler([this, e](ExecutorId id) {
+    trace(TraceEventType::kExecutorLost, -1, -1, 0, e->node().id(),
+          "executor " + std::to_string(id) + " lost");
+    request_dispatch();
+  });
+  e->cache().set_change_listener([this, node](const std::string& key, bool present) {
+    on_cache_change(node, key, present);
+  });
+}
+
+void SchedulerBase::register_executor(Executor* exec) {
+  if (exec == nullptr) throw std::invalid_argument("SchedulerBase: null executor");
+  if (static_cast<std::size_t>(exec->node().id()) != env_.executors.size()) {
+    throw std::invalid_argument("SchedulerBase: executors must register in NodeId order");
+  }
+  env_.executors.push_back(exec);
+  live_attempts_.push_back({});
+  wire_executor(exec);
+}
+
+void SchedulerBase::handle_membership(NodeId node, NodeLifecycle state) {
+  switch (state) {
+    case NodeLifecycle::kProvisioning:
+      break;  // nothing to index yet: the executor registers separately
+    case NodeLifecycle::kLive:
+      note_node_maybe_free(node);
+      node_membership_changed(node, state);
+      request_dispatch();
+      break;
+    case NodeLifecycle::kDraining:
+      // No new work: drop from the candidate set now (node_usable would
+      // filter it anyway, but keeping it would re-scan it every round).
+      maybe_free_.erase(node);
+      node_membership_changed(node, state);
+      break;
+    case NodeLifecycle::kDecommissioned:
+      // Purge every per-node structure so the timed un-blacklist path and
+      // the liveness sweep can never resurrect a departed node.
+      maybe_free_.erase(node);
+      blacklisted_until_.erase(node);
+      recent_failures_.erase(node);
+      liveness_.forget(node);
+      node_membership_changed(node, state);
+      request_dispatch();
+      break;
+  }
 }
 
 void SchedulerBase::configure_fault_tolerance(const FaultToleranceConfig& cfg) {
@@ -61,6 +109,10 @@ void SchedulerBase::configure_fault_tolerance(const FaultToleranceConfig& cfg) {
 }
 
 bool SchedulerBase::node_usable(NodeId node) const {
+  // Lifecycle gate first: draining/decommissioned/provisioning nodes never
+  // take new work, independent of the fault-tolerance machinery. Static
+  // fleets are always live, so this is a no-op for them.
+  if (!cluster().schedulable(node)) return false;
   if (!fault_tolerance_.enabled) return true;
   if (liveness_.dead(node)) return false;
   auto it = blacklisted_until_.find(node);
@@ -259,6 +311,10 @@ void SchedulerBase::submit(const TaskSet& task_set) {
     fault_tolerance_timer_ =
         sim().schedule_after(fault_tolerance_.check_interval, [this] { fault_tolerance_tick(); });
   }
+  if (preemption_.enabled && !preemption_timer_.pending()) {
+    preemption_timer_ =
+        sim().schedule_after(preemption_.interval, [this] { preemption_tick(); });
+  }
   request_dispatch();
 }
 
@@ -297,6 +353,9 @@ void SchedulerBase::fault_tolerance_tick() {
 
 void SchedulerBase::note_node_failure(NodeId node) {
   if (!fault_tolerance_.enabled) return;
+  // Failures racing a decommission (the executor teardown notifies after
+  // the membership purge) must not re-enter the node into the blacklist.
+  if (!cluster().member(node)) return;
   SimTime now = sim().now();
   auto& times = recent_failures_[node];
   std::erase_if(times,
@@ -501,6 +560,26 @@ bool SchedulerBase::relocate_task(StageState& stage, TaskState& task,
   return true;
 }
 
+bool SchedulerBase::preempt_task(StageState& stage, TaskState& task) {
+  if (task.finished || task.live.empty()) return false;
+  auto live = task.live;
+  trace(TraceEventType::kTaskPreempted, stage.set.stage, task.spec.id, live.front().id,
+        live.front().node, "fair-share reclaim from pool " + pool_of(stage));
+  for (auto& attempt : live) {
+    attempt.exec->kill("preempted", /*notify=*/false);
+    note_attempt_ended(attempt.node, attempt.kind, stage);
+    note_node_maybe_free(attempt.node);
+  }
+  task.live.clear();
+  set_task_pending(stage, static_cast<std::size_t>(&task - stage.tasks.data()), true);
+  ++preemptions_;
+  RUPAM_INFO(sim().now(), name(), ": preempted task ", task.spec.id, " (pool ",
+             pool_of(stage), ")");
+  task_relaunchable(stage, task);
+  request_dispatch();
+  return true;
+}
+
 void SchedulerBase::handle_success(StageId stage_id, std::size_t task_index, AttemptId attempt,
                                    const TaskMetrics& metrics) {
   auto it = stages_.find(stage_id);
@@ -597,6 +676,124 @@ void SchedulerBase::speculation_tick() {
   if (!stages_.empty()) request_dispatch();
   speculation_timer_ =
       sim().schedule_after(speculation_.interval, [this] { speculation_tick(); });
+}
+
+std::size_t SchedulerBase::pending_tasks() const {
+  std::size_t n = 0;
+  for (const auto& [id, stage] : stages_) n += stage.pending_index.size();
+  return n;
+}
+
+int SchedulerBase::free_slots_total() const {
+  int total = 0;
+  for (std::size_t i = 0; i < env_.executors.size(); ++i) {
+    if (!cluster().schedulable(static_cast<NodeId>(i))) continue;
+    Executor* e = env_.executors[i];
+    if (e != nullptr && e->alive()) total += e->free_slots();
+  }
+  return total;
+}
+
+std::map<std::string, double> SchedulerBase::fair_share_targets() const {
+  // Active pools: anything currently running attempts or holding demand.
+  std::map<std::string, int> running;
+  for (const auto& [pool, n] : pool_running_) {
+    if (n > 0) running[pool] = n;
+  }
+  std::map<std::string, std::size_t> demand;
+  for (const auto& [id, stage] : stages_) {
+    demand[pool_of(stage)] += stage.pending_index.size();
+  }
+  std::map<std::string, double> targets;
+  double total_weight = 0.0;
+  for (const auto& [pool, n] : running) {
+    targets.emplace(pool, 0.0);
+  }
+  for (const auto& [pool, d] : demand) {
+    if (d > 0) targets.emplace(pool, 0.0);
+  }
+  for (const auto& [pool, t] : targets) total_weight += pools_.spec(pool).weight;
+  if (targets.empty() || total_weight <= 0.0) return targets;
+  int running_total = 0;
+  for (const auto& [pool, n] : running) running_total += n;
+  double capacity = static_cast<double>(running_total + free_slots_total());
+  for (auto& [pool, t] : targets) {
+    t = capacity * pools_.spec(pool).weight / total_weight;
+  }
+  return targets;
+}
+
+void SchedulerBase::preemption_tick() {
+  preemption_timer_ =
+      sim().schedule_after(preemption_.interval, [this] { preemption_tick(); });
+  if (pools_.policy != PoolPolicy::kFair || stages_.empty()) {
+    starved_since_.clear();
+    return;
+  }
+  SimTime now = sim().now();
+  std::map<std::string, double> targets = fair_share_targets();
+  std::map<std::string, std::size_t> demand;
+  for (const auto& [id, stage] : stages_) {
+    demand[pool_of(stage)] += stage.pending_index.size();
+  }
+  // Refresh starvation clocks: a pool is starved while it has demand and
+  // runs below its fair share.
+  std::vector<std::string> due;
+  for (const auto& [pool, target] : targets) {
+    auto d = demand.find(pool);
+    bool starved = d != demand.end() && d->second > 0 &&
+                   static_cast<double>(pool_running_tasks(pool)) + 0.5 < target;
+    if (!starved) {
+      starved_since_.erase(pool);
+      continue;
+    }
+    auto [it, inserted] = starved_since_.try_emplace(pool, now);
+    if (!inserted && now - it->second >= preemption_.starvation_timeout) due.push_back(pool);
+  }
+  if (due.empty()) return;
+  // Victim pool: the one furthest above its share, with hysteresis.
+  int kills_left = preemption_.max_kills_per_round;
+  for (const std::string& starved_pool : due) {
+    if (kills_left <= 0) break;
+    std::string victim;
+    double worst_excess = 0.0;
+    for (const auto& [pool, target] : targets) {
+      if (pool == starved_pool) continue;
+      double over = static_cast<double>(pool_running_tasks(pool)) -
+                    std::max(target * preemption_.share_slack, target + 0.5);
+      if (over > worst_excess) {
+        worst_excess = over;
+        victim = pool;
+      }
+    }
+    if (victim.empty()) continue;
+    // Kill the victim pool's newest attempts first: least wasted work.
+    std::vector<std::tuple<SimTime, StageState*, std::size_t>> candidates;
+    for (auto& [id, stage] : stages_) {
+      if (pool_of(stage) != victim) continue;
+      for (std::size_t i = 0; i < stage.tasks.size(); ++i) {
+        TaskState& task = stage.tasks[i];
+        if (task.finished || task.live.empty()) continue;
+        SimTime newest = 0.0;
+        for (const auto& a : task.live) newest = std::max(newest, a.exec->launch_time());
+        candidates.emplace_back(newest, &stage, i);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(), [](const auto& a, const auto& b) {
+      return std::get<0>(a) > std::get<0>(b);
+    });
+    std::size_t want = static_cast<std::size_t>(std::max(
+        0.0, targets.at(starved_pool) - static_cast<double>(pool_running_tasks(starved_pool))));
+    std::size_t killed = 0;
+    for (const auto& [launched, stage, index] : candidates) {
+      if (kills_left <= 0 || killed >= std::max<std::size_t>(want, 1)) break;
+      if (preempt_task(*stage, stage->tasks[index])) {
+        --kills_left;
+        ++killed;
+      }
+    }
+    if (killed > 0) starved_since_.erase(starved_pool);  // fresh timeout
+  }
 }
 
 std::vector<std::pair<StageId, std::size_t>> SchedulerBase::find_speculatable() {

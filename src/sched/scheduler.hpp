@@ -76,6 +76,22 @@ struct FaultToleranceConfig {
   SimTime check_interval = 1.0;       // dead-sweep / expiry period
 };
 
+/// Spark-style dynamic slot reclaim under FAIR pools: a pool running below
+/// its weighted fair share for `starvation_timeout` gets slots back by
+/// killing the newest attempts of the most over-share pool (checkpoint-free
+/// kill-and-resubmit — the task requeues with its original submit time, so
+/// the wasted work lands in its JCT). Disabled by default: fair-share-only
+/// runs schedule no extra timer events and stay bit-identical.
+struct PreemptionConfig {
+  bool enabled = false;
+  SimTime interval = 2.0;            // reclaim-check period
+  SimTime starvation_timeout = 6.0;  // below-share this long → preempt
+  int max_kills_per_round = 2;       // kill budget per check
+  /// Only pools above share_slack × fair share lose attempts (hysteresis:
+  /// never preempt a pool sitting at its exact share).
+  double share_slack = 1.2;
+};
+
 class SchedulerBase {
  public:
   using PartitionSuccessFn =
@@ -99,6 +115,8 @@ class SchedulerBase {
   }
   void configure_speculation(SpeculationConfig cfg) { speculation_ = cfg; }
   void configure_fault_tolerance(const FaultToleranceConfig& cfg);
+  void configure_preemption(const PreemptionConfig& cfg) { preemption_ = cfg; }
+  const PreemptionConfig& preemption() const { return preemption_; }
   /// Cross-job scheduling policy (FIFO default, FAIR pools for
   /// multi-tenant runs). See sched/pool.hpp.
   void configure_pools(PoolConfig cfg) { pools_ = std::move(cfg); }
@@ -142,7 +160,25 @@ class SchedulerBase {
   const std::vector<TaskMetrics>& failures() const { return failed_; }
   std::size_t straggler_copies() const { return straggler_copies_; }
   std::size_t relocations() const { return relocations_; }
+  /// Fair-share reclaim kills (kill-and-resubmit, not failures).
+  std::size_t preemptions() const { return preemptions_; }
   std::size_t active_stages() const { return stages_.size(); }
+
+  /// Tasks waiting for a primary launch across all active stages — the
+  /// autoscaler's pending-pressure signal.
+  std::size_t pending_tasks() const;
+  /// Free executor slots on schedulable (live) member nodes.
+  int free_slots_total() const;
+
+  /// Wire the executor of a node that joined after construction. Must be
+  /// called in NodeId order (the executor list stays dense, indexed by
+  /// NodeId) and before the node's kLive transition fires.
+  void register_executor(Executor* exec);
+
+  /// Weighted fair-share slot targets per pool over the pools that are
+  /// currently active (running or with demand). Keyed by pool name;
+  /// capacity is running attempts + free slots on live nodes.
+  std::map<std::string, double> fair_share_targets() const;
 
   /// Tasks of `pool` currently occupying slots (live attempts, including
   /// speculative copies) — the fair-share "running cores" input.
@@ -241,6 +277,13 @@ class SchedulerBase {
   /// Called after configure_fault_tolerance (RUPAM forwards the liveness
   /// settings to its ResourceMonitor).
   virtual void fault_tolerance_changed() {}
+  /// Fired on every cluster lifecycle transition, after the base class has
+  /// already reconciled its own indexes (maybe-free set, blacklist,
+  /// liveness). Subclasses drop or add their per-node structures here
+  /// (RUPAM: monitor rows, GPU node list; StageAware: capability ranking).
+  virtual void node_membership_changed(NodeId node, NodeLifecycle state) {
+    (void)node, (void)state;
+  }
 
   /// Placement rationale a subclass stages for the launch_task call it is
   /// about to make (consumed by that call, success or failure). `reason`
@@ -271,6 +314,11 @@ class SchedulerBase {
   /// Kill a running attempt and put the task back in the pending pool
   /// (RUPAM's straggler relocation, §III-C3). Returns false if not running.
   bool relocate_task(StageState& stage, TaskState& task, const std::string& reason);
+
+  /// Fair-share reclaim: kill every live attempt of `task` and requeue it
+  /// (traced as kTaskPreempted, counted in preemptions(), no failure or
+  /// blacklist accounting). Returns false if nothing was running.
+  bool preempt_task(StageState& stage, TaskState& task);
 
   Locality locality_for(const TaskSpec& spec, NodeId node) const;
   Executor* executor(NodeId node) const;
@@ -331,6 +379,7 @@ class SchedulerBase {
   std::map<StageId, StageState> stages_;
   SpeculationConfig speculation_;
   FaultToleranceConfig fault_tolerance_;
+  PreemptionConfig preemption_;
   PoolConfig pools_;
 
  private:
@@ -340,6 +389,12 @@ class SchedulerBase {
                       const std::string& reason);
   void speculation_tick();
   void fault_tolerance_tick();
+  void preemption_tick();
+  /// Base-class reconciliation for a cluster lifecycle transition; runs
+  /// before the node_membership_changed subclass hook.
+  void handle_membership(NodeId node, NodeLifecycle state);
+  /// Shared wiring for construction-time and runtime-registered executors.
+  void wire_executor(Executor* exec);
 
   /// Set task.pending, keep stage.pending_index in sync, and fire
   /// task_pending_changed when set membership actually changed.
@@ -390,9 +445,15 @@ class SchedulerBase {
   DispatchWorkCounters dispatch_work_;
   std::size_t straggler_copies_ = 0;
   std::size_t relocations_ = 0;
+  std::size_t preemptions_ = 0;
   bool dispatch_requested_ = false;
   EventHandle speculation_timer_;
   EventHandle fault_tolerance_timer_;
+  EventHandle preemption_timer_;
+  /// Pool → time it fell below fair share (cleared when served/reclaimed).
+  std::map<std::string, SimTime> starved_since_;
+  /// Cluster membership subscription (unsubscribed in the destructor).
+  std::size_t membership_token_ = 0;
   NodeLivenessTracker liveness_;
   std::map<NodeId, std::vector<SimTime>> recent_failures_;
   std::map<NodeId, SimTime> blacklisted_until_;

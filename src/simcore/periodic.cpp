@@ -14,16 +14,59 @@ std::size_t PeriodicTaskSet::add(SimTime phase, std::function<void()> fn) {
   if (phase < 0.0 || phase >= period_) {
     throw std::invalid_argument("PeriodicTaskSet: phase outside [0, period)");
   }
-  members_.push_back(Member{phase, 0.0, std::move(fn)});
+  members_.push_back(Member{phase, 0.0, std::move(fn), true});
+  ++active_;
   return members_.size() - 1;
+}
+
+std::size_t PeriodicTaskSet::join(SimTime phase, std::function<void()> fn) {
+  if (!running_) return add(phase, std::move(fn));
+  if (phase < 0.0 || phase >= period_) {
+    throw std::invalid_argument("PeriodicTaskSet: phase outside [0, period)");
+  }
+  members_.push_back(Member{phase, sim_.now() + phase, std::move(fn), true});
+  ++active_;
+  std::size_t idx = members_.size() - 1;
+  normalize();
+  // The ring, read from the front, is sorted by next_due (firing order).
+  // Insert after any member with an equal deadline: an already-queued timer
+  // beats one scheduled right now, matching kernel FIFO order.
+  SimTime due = members_[idx].next_due;
+  std::size_t pos = 0;
+  while (pos < order_.size() && members_[order_[pos]].next_due <= due) ++pos;
+  order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(pos), idx);
+  if (pos == 0) {
+    handle_.cancel();
+    arm();
+  }
+  return idx;
+}
+
+bool PeriodicTaskSet::leave(std::size_t member) {
+  if (member >= members_.size() || !members_[member].active) return false;
+  members_[member].active = false;
+  --active_;
+  if (!running_) return true;
+  normalize();
+  auto it = std::find(order_.begin(), order_.end(), member);
+  if (it == order_.end()) return true;
+  bool was_front = it == order_.begin();
+  order_.erase(it);
+  if (was_front) {
+    handle_.cancel();
+    if (!order_.empty()) arm();
+  }
+  return true;
 }
 
 void PeriodicTaskSet::start() {
   if (running_) return;
   running_ = true;
-  if (members_.empty()) return;
-  order_.resize(members_.size());
-  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  order_.clear();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].active) order_.push_back(i);
+  }
+  if (order_.empty()) return;
   std::stable_sort(order_.begin(), order_.end(), [this](std::size_t a, std::size_t b) {
     return members_[a].phase < members_[b].phase;
   });
@@ -51,6 +94,14 @@ void PeriodicTaskSet::fire() {
   // self-rescheduling timer pushed one period earlier would sit.
   arm();
   m.fn();
+}
+
+// Rotate the firing ring so cursor_ == 0, making "firing order" and "vector
+// order" coincide for membership edits. O(n), only on join/leave.
+void PeriodicTaskSet::normalize() {
+  if (cursor_ == 0) return;
+  std::rotate(order_.begin(), order_.begin() + static_cast<std::ptrdiff_t>(cursor_), order_.end());
+  cursor_ = 0;
 }
 
 }  // namespace rupam

@@ -26,8 +26,26 @@ class PeriodicTaskSet {
 
   /// Register a member firing at now+phase, now+phase+period, ... once the
   /// set is started. Phase must lie in [0, period). Members cannot be added
-  /// while running. Returns the member's index.
+  /// while running (use join() for that). Returns the member's index.
   std::size_t add(SimTime phase, std::function<void()> fn);
+
+  /// Register a member at runtime. Before start() this is add(); while the
+  /// set is running the member's first firing is now+phase — exactly what a
+  /// freshly created self-rescheduling timer would produce — and the single
+  /// armed queue entry is preserved. Must not be called re-entrantly from a
+  /// member callback of this set (leave() is fine there). Returns the
+  /// member's index.
+  std::size_t join(SimTime phase, std::function<void()> fn);
+
+  /// Retire a member at runtime: it never fires again and is excluded from
+  /// any future start(). Safe to call from inside a member callback. Returns
+  /// false if the index is unknown or already retired.
+  bool leave(std::size_t member);
+
+  /// True while the member is registered and not retired.
+  bool member_active(std::size_t member) const {
+    return member < members_.size() && members_[member].active;
+  }
 
   /// Arm the set (first firings land within one period). Restarting after
   /// stop() re-bases every member's phase on the current time.
@@ -36,7 +54,8 @@ class PeriodicTaskSet {
 
   bool running() const { return running_; }
   SimTime period() const { return period_; }
-  std::size_t size() const { return members_.size(); }
+  /// Members that can still fire (retired members are excluded).
+  std::size_t size() const { return active_; }
   /// Kernel event-queue entries this set occupies: 1 while armed, else 0 —
   /// independent of member count.
   std::size_t queue_entries() const { return handle_.pending() ? 1u : 0u; }
@@ -46,16 +65,19 @@ class PeriodicTaskSet {
     SimTime phase;
     SimTime next_due = 0.0;
     std::function<void()> fn;
+    bool active = true;
   };
 
   void arm();
   void fire();
+  void normalize();
 
   Simulator& sim_;
   SimTime period_;
   bool running_ = false;
-  std::vector<Member> members_;
-  std::vector<std::size_t> order_;  // member indices, stable-sorted by phase
+  std::size_t active_ = 0;          // members not yet retired
+  std::vector<Member> members_;     // append-only; indices are stable
+  std::vector<std::size_t> order_;  // active member indices in firing order
   std::size_t cursor_ = 0;          // next entry of order_ to fire
   EventHandle handle_;
 };

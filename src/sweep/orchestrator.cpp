@@ -83,6 +83,11 @@ RunResult run_sweep_cell(const SweepSpec& spec, const CellCoord& cell, int repli
   cfg.sample_utilization = spec.sample_utilization;
   const std::string& plan = spec.fault_plans.at(cell.fault);
   if (!plan.empty()) cfg.faults = parse_fault_spec(plan);
+  const std::string& elastic = spec.elastic_modes.at(cell.elastic);
+  bool autoscale = false, preempt = false;
+  parse_elastic_mode(elastic, autoscale, preempt);  // validated by the spec
+  cfg.autoscale.enabled = autoscale;
+  cfg.preemption.enabled = preempt;
   cfg.seed = seed;
 
   ArrivalConfig arrivals;
@@ -234,6 +239,7 @@ void SweepMatrix::write_json(std::ostream& os) const {
     w.key("fleet_size").value(spec.fleet_sizes.at(cell.coord.fleet));
     w.key("arrival_rate").value(spec.arrival_rates.at(cell.coord.rate));
     w.key("fault_plan").value(spec.fault_plans.at(cell.coord.fault));
+    w.key("elastic").value(spec.elastic_modes.at(cell.coord.elastic));
     w.key("failed").value(static_cast<unsigned long long>(cell.failed));
     w.key("runs").begin_array();
     for (const RunResult& r : cell.reps) {

@@ -12,13 +12,17 @@
 namespace rupam {
 
 std::size_t SweepSpec::cell_index(const CellCoord& c) const {
-  return ((c.scheduler * fleet_sizes.size() + c.fleet) * arrival_rates.size() + c.rate) *
-             fault_plans.size() +
-         c.fault;
+  return (((c.scheduler * fleet_sizes.size() + c.fleet) * arrival_rates.size() + c.rate) *
+              fault_plans.size() +
+          c.fault) *
+             elastic_modes.size() +
+         c.elastic;
 }
 
 CellCoord SweepSpec::cell_at(std::size_t index) const {
   CellCoord c;
+  c.elastic = index % elastic_modes.size();
+  index /= elastic_modes.size();
   c.fault = index % fault_plans.size();
   index /= fault_plans.size();
   c.rate = index % arrival_rates.size();
@@ -74,6 +78,30 @@ void SweepSpec::validate() const {
       spec_error(e.what());
     }
   }
+  for (const std::string& mode : elastic_modes) {
+    bool autoscale = false, preempt = false;
+    if (!parse_elastic_mode(mode, autoscale, preempt)) {
+      spec_error("elastic entry '" + mode +
+                 "' must be \"\", \"autoscale\", \"preempt\", or \"autoscale+preempt\"");
+    }
+  }
+}
+
+bool parse_elastic_mode(const std::string& mode, bool& autoscale, bool& preempt) {
+  autoscale = false;
+  preempt = false;
+  if (mode.empty()) return true;
+  if (mode == "autoscale") {
+    autoscale = true;
+  } else if (mode == "preempt") {
+    preempt = true;
+  } else if (mode == "autoscale+preempt") {
+    autoscale = true;
+    preempt = true;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 std::uint64_t sweep_mix64(std::uint64_t x) {
@@ -98,8 +126,16 @@ std::uint64_t derive_run_seed(std::uint64_t base_seed, std::size_t scheduler_idx
 }
 
 std::uint64_t derive_run_seed(const SweepSpec& spec, const CellCoord& cell, int replication) {
-  return derive_run_seed(spec.base_seed, cell.scheduler, cell.fleet, cell.rate, cell.fault,
-                         replication);
+  std::uint64_t h = derive_run_seed(spec.base_seed, cell.scheduler, cell.fleet, cell.rate,
+                                    cell.fault, replication);
+  // Elastic index 0 is the static default: no extra fold, so legacy
+  // 4-axis sweeps keep their pinned seeds bit for bit.
+  if (cell.elastic > 0) {
+    h = sweep_mix64(h ^ (0x454c415354494331ULL +  // "ELASTIC1"
+                         static_cast<std::uint64_t>(cell.elastic)));
+    if (h == 0) h = 1;
+  }
+  return h;
 }
 
 FleetSpec sweep_fleet_spec(int nodes, std::uint64_t base_seed) {
@@ -173,6 +209,11 @@ SweepSpec parse_sweep_json(const std::string& text) {
       for (const JsonValue& v : require_array(value, "fault_plans")) {
         spec.fault_plans.push_back(require_string(v, "fault_plans entry"));
       }
+    } else if (key == "elastic") {
+      spec.elastic_modes.clear();
+      for (const JsonValue& v : require_array(value, "elastic")) {
+        spec.elastic_modes.push_back(require_string(v, "elastic entry"));
+      }
     } else if (key == "duration") {
       spec.duration = require_number(value, "duration");
     } else if (key == "tenants") {
@@ -236,6 +277,9 @@ std::string sweep_to_json(const SweepSpec& spec) {
   w.end_array();
   w.key("fault_plans").begin_array();
   for (const std::string& p : spec.fault_plans) w.value(p);
+  w.end_array();
+  w.key("elastic").begin_array();
+  for (const std::string& m : spec.elastic_modes) w.value(m);
   w.end_array();
   w.key("duration").value(spec.duration);
   w.key("tenants").value(spec.tenants);

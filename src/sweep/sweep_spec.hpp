@@ -30,6 +30,7 @@ struct CellCoord {
   std::size_t fleet = 0;
   std::size_t rate = 0;
   std::size_t fault = 0;
+  std::size_t elastic = 0;
 };
 
 struct SweepSpec {
@@ -44,6 +45,10 @@ struct SweepSpec {
   std::vector<double> arrival_rates{0.05};
   /// Fault specs (faults/fault_plan.hpp syntax); "" = fault-free.
   std::vector<std::string> fault_plans{std::string()};
+  /// Elastic-fleet modes: "" (static), "autoscale", "preempt", or
+  /// "autoscale+preempt". The default single-"" axis reproduces legacy
+  /// 4-axis sweeps cell for cell, seed for seed.
+  std::vector<std::string> elastic_modes{std::string()};
 
   /// Per-run knobs shared by every cell.
   SimTime duration = 600.0;  // arrival generation horizon
@@ -55,11 +60,12 @@ struct SweepSpec {
   bool sample_utilization = true;
 
   std::size_t cell_count() const {
-    return schedulers.size() * fleet_sizes.size() * arrival_rates.size() * fault_plans.size();
+    return schedulers.size() * fleet_sizes.size() * arrival_rates.size() * fault_plans.size() *
+           elastic_modes.size();
   }
   std::size_t total_runs() const { return cell_count() * static_cast<std::size_t>(replications); }
 
-  /// Row-major linearization (scheduler, fleet, rate, fault).
+  /// Row-major linearization (scheduler, fleet, rate, fault, elastic).
   std::size_t cell_index(const CellCoord& c) const;
   CellCoord cell_at(std::size_t index) const;
 
@@ -83,7 +89,15 @@ std::uint64_t sweep_mix64(std::uint64_t x);
 std::uint64_t derive_run_seed(std::uint64_t base_seed, std::size_t scheduler_idx,
                               std::size_t fleet_idx, std::size_t rate_idx,
                               std::size_t fault_idx, int replication);
+/// The spec-level overload also folds in the elastic axis — but only for
+/// non-default modes (elastic index > 0), so every seed a 4-axis sweep
+/// ever recorded is still produced verbatim.
 std::uint64_t derive_run_seed(const SweepSpec& spec, const CellCoord& cell, int replication);
+
+/// Decode an elastic-mode axis value ("", "autoscale", "preempt",
+/// "autoscale+preempt") into its two toggles; returns false on anything
+/// else.
+bool parse_elastic_mode(const std::string& mode, bool& autoscale, bool& preempt);
 
 /// The cluster a sweep cell runs on: the canned Hydra testbed at 12 nodes,
 /// scaled_hydra_fleet otherwise, with a per-size seed derived from
