@@ -75,8 +75,8 @@ VariantResult run_variant(const Scenario& sc, SchedulerKind kind, PoolPolicy pol
   out.short_jobs = jcts.size();
   if (!jcts.empty()) {
     out.mean = mean_of(jcts);
-    out.p50 = percentile(jcts, 50.0);
-    out.p95 = percentile(jcts, 95.0);
+    out.p50 = percentile_inplace(jcts, 50.0);
+    out.p95 = percentile_inplace(jcts, 95.0);
     out.queueing = queueing / static_cast<double>(jcts.size());
   }
   return out;

@@ -2,12 +2,14 @@
 
 #include <fstream>
 #include <optional>
+#include <sstream>
 
 #include "cluster/fleet.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "faults/fault_plan.hpp"
 #include "metrics/locality_counter.hpp"
+#include "obs/comparator.hpp"
 #include "sweep/orchestrator.hpp"
 #include "workloads/presets.hpp"
 
@@ -33,6 +35,16 @@ std::string cli_usage() {
          "  --explain PATH         record one audit row per scheduling decision\n"
          "                         (chosen node, reason, candidates); '.json' writes\n"
          "                         JSON, anything else CSV\n"
+         "  --analyze PATH         post-run diagnosis JSON: per-job critical paths with\n"
+         "                         phase attribution and stragglers joined to causes\n"
+         "                         (enables spans/audit/trace; schema in DESIGN.md §13)\n"
+         "  --analyze-k K          straggler threshold: service time > K x stage median\n"
+         "                         (default 1.5)\n"
+         "  --compare BASE TEST    diff two run reports (BENCH_*.json or sweep matrices)\n"
+         "                         with CI-aware improved/regressed/within-noise verdicts,\n"
+         "                         then exit (no simulation)\n"
+         "  --compare-out PATH     write the comparison JSON here\n"
+         "  --compare-strict       exit 1 when --compare finds any regression\n"
          "  --faults SPEC          inject faults, e.g. 'crash@60:node=3:down=40;\n"
          "                         slow@30:node=0:res=cpu:factor=0.3:for=60'\n"
          "  --chaos SEED           inject a seeded random fault plan\n"
@@ -130,6 +142,28 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::o
     } else if (a == "--explain") {
       if (!need_value(i)) return std::nullopt;
       opts.explain_out = args[++i];
+    } else if (a == "--analyze") {
+      if (!need_value(i)) return std::nullopt;
+      opts.analyze_out = args[++i];
+    } else if (a == "--analyze-k") {
+      if (!need_value(i)) return std::nullopt;
+      opts.analyze_k = std::atof(args[++i].c_str());
+      if (opts.analyze_k <= 1.0) {
+        err << "analyze-k must be > 1\n";
+        return std::nullopt;
+      }
+    } else if (a == "--compare") {
+      if (i + 2 >= args.size()) {
+        err << "--compare takes two paths: BASE TEST\n";
+        return std::nullopt;
+      }
+      opts.compare_base = args[++i];
+      opts.compare_test = args[++i];
+    } else if (a == "--compare-out") {
+      if (!need_value(i)) return std::nullopt;
+      opts.compare_out = args[++i];
+    } else if (a == "--compare-strict") {
+      opts.compare_strict = true;
     } else if (a == "--faults") {
       if (!need_value(i)) return std::nullopt;
       opts.faults = args[++i];
@@ -263,6 +297,15 @@ void apply_observability_flags(SimulationConfig& cfg, const CliOptions& options)
   cfg.enable_metrics = !options.metrics_out.empty();
   cfg.enable_audit = !options.explain_out.empty();
   cfg.enable_spans = !options.trace_perfetto.empty();
+  if (!options.analyze_out.empty()) {
+    // The analyzer joins spans x audit x event trace x JCT records, so
+    // --analyze implies all of them. Callers set enable_trace before
+    // calling this, so the |= here is the final word.
+    cfg.enable_analysis = true;
+    cfg.enable_spans = true;
+    cfg.enable_audit = true;
+    cfg.enable_trace = true;
+  }
 }
 
 /// Wire --autoscale / --spot-plan / --preempt into the config. The spot
@@ -287,9 +330,10 @@ bool apply_elastic(SimulationConfig& cfg, const CliOptions& options, std::ostrea
   return true;
 }
 
-/// Write --metrics-out / --explain / --trace-perfetto outputs for a finished
-/// run. Returns 0, or 2 if any path could not be opened.
-int write_observability(Simulation& sim, const CliOptions& options, std::ostream& err) {
+/// Write --metrics-out / --explain / --trace-perfetto / --analyze outputs
+/// for a finished run. Returns 0, or 2 if any path could not be opened.
+int write_observability(Simulation& sim, const CliOptions& options, std::ostream& out,
+                        std::ostream& err) {
   auto write_to = [&err](const std::string& path, auto&& writer) -> bool {
     std::ofstream f(path);
     if (!f) {
@@ -324,7 +368,49 @@ int write_observability(Simulation& sim, const CliOptions& options, std::ostream
                        [&](std::ostream& f) { sim.spans()->write_perfetto(f); });
     if (!ok) return 2;
   }
+  if (!options.analyze_out.empty()) {
+    AnalyzerConfig acfg;
+    acfg.straggler_k = options.analyze_k;
+    RunDiagnosis diag = analyze_run(sim.run_artifacts(), acfg);
+    bool ok = write_to(options.analyze_out,
+                       [&](std::ostream& f) { write_diagnosis_json(diag, f); });
+    if (!ok) return 2;
+    print_diagnosis(diag, out);
+  }
   return 0;
+}
+
+int run_compare_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  auto slurp = [&err](const std::string& path, std::string& into) -> bool {
+    std::ifstream f(path);
+    if (!f) {
+      err << "cannot open " << path << "\n";
+      return false;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    into = ss.str();
+    return true;
+  };
+  std::string base, test;
+  if (!slurp(options.compare_base, base) || !slurp(options.compare_test, test)) return 2;
+  ComparisonReport report;
+  try {
+    report = compare_json_text(base, test);
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+  if (!options.compare_out.empty()) {
+    std::ofstream f(options.compare_out);
+    if (!f) {
+      err << "cannot open " << options.compare_out << "\n";
+      return 2;
+    }
+    write_comparison_json(report, f);
+  }
+  print_comparison(report, out);
+  return options.compare_strict && report.has_regressions() ? 1 : 0;
 }
 
 int run_sweep_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
@@ -457,7 +543,7 @@ int run_multi_tenant(const CliOptions& options, std::ostream& out, std::ostream&
       sim.trace()->write_chrome_tracing(f);
     }
   }
-  return write_observability(sim, options, err);
+  return write_observability(sim, options, out, err);
 }
 
 }  // namespace
@@ -473,6 +559,9 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
           << p.iterations << " iterations\n";
     }
     return 0;
+  }
+  if (!options.compare_base.empty()) {
+    return run_compare_cli(options, out, err);
   }
   if (!options.sweep.empty()) {
     return run_sweep_cli(options, out, err);
@@ -570,7 +659,7 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
           sim.trace()->write_chrome_tracing(f);
         }
       }
-      int rc = write_observability(sim, options, err);
+      int rc = write_observability(sim, options, out, err);
       if (rc != 0) return rc;
     }
   }

@@ -30,6 +30,15 @@ struct CliOptions {
   std::string metrics_out;
   /// Dispatch-decision audit path: ".json" → JSON, else CSV.
   std::string explain_out;
+  /// Post-run diagnosis path (critical paths + straggler causes). Enables
+  /// spans, audit, event trace and JCT collection for the run.
+  std::string analyze_out;
+  double analyze_k = 1.5;  // straggler threshold for --analyze
+  /// Comparator mode: diff two run reports / sweep matrices and exit.
+  std::string compare_base;
+  std::string compare_test;
+  std::string compare_out;      // comparison JSON path; empty = table only
+  bool compare_strict = false;  // exit 1 when any metric regressed
   std::string faults;        // fault spec (see faults/fault_plan.hpp)
   std::uint64_t chaos_seed = 0;  // non-zero: add a seeded chaos plan
   /// Sweep mode: path to a JSON SweepSpec (see sweep/sweep_spec.hpp);
@@ -64,7 +73,9 @@ struct CliOptions {
 ///   --workload NAME --scheduler spark|rupam|stageaware|fifo --fleet PATH
 ///   --iterations N --repetitions N --seed N --sample
 ///   --trace-csv PATH --trace-chrome PATH --trace-perfetto PATH
-///   --metrics-out PATH --explain PATH --faults SPEC --chaos SEED
+///   --metrics-out PATH --explain PATH --analyze PATH --analyze-k K
+///   --compare BASE TEST --compare-out PATH --compare-strict
+///   --faults SPEC --chaos SEED
 ///   --arrivals RATE --tenants N --pool-policy fifo|fair --duration T
 ///   --diurnal AMP --diurnal-period T
 ///   --autoscale MAX --spot-plan SPEC --preempt

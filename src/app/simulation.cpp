@@ -240,6 +240,17 @@ void Simulation::handle_membership(NodeId node, NodeLifecycle state) {
 SimTime Simulation::run(const Application& app) {
   app.validate();
   register_stage_parents(app);
+  // Analysis wants per-job JCT records even on the single-app path; the
+  // observers only copy ids into the accountant, so enabling them leaves
+  // the simulated event sequence untouched.
+  JctAccountant jct;
+  if (config_.enable_analysis) {
+    dag_->set_job_observer([&jct](const DagScheduler::JobStats& s) {
+      jct.note_finished(s.job, s.app, s.pool, s.name, s.submitted, s.finished);
+    });
+    scheduler_->set_launch_observer(
+        [&jct](JobId job, SimTime now) { jct.note_launch(job, now); });
+  }
   SimTime started = sim_.now();
   bool done = false;
   SimTime finished_at = 0.0;
@@ -267,6 +278,11 @@ SimTime Simulation::run(const Application& app) {
   heartbeats_->stop();
   if (sampler_) sampler_->stop();
   snapshot_gauges();
+  if (config_.enable_analysis) {
+    dag_->set_job_observer(nullptr);
+    scheduler_->set_launch_observer(nullptr);
+    analysis_jobs_.insert(analysis_jobs_.end(), jct.jobs().begin(), jct.jobs().end());
+  }
   RUPAM_INFO(sim_.now(), scheduler_->name(), " finished '", app.name, "' in ",
              finished_at - started, "s");
   return finished_at - started;
@@ -325,18 +341,45 @@ TenantRunReport Simulation::run(const SubmissionStream& stream) {
   report.jobs = jct.jobs();
   report.overall = jct.overall();
   report.per_pool = jct.by_pool();
+  if (config_.enable_analysis) {
+    analysis_jobs_.insert(analysis_jobs_.end(), report.jobs.begin(), report.jobs.end());
+  }
   RUPAM_INFO(sim_.now(), scheduler_->name(), " finished ", stream.size(), " applications (",
              report.jobs.size(), " jobs) in ", report.makespan, "s");
   return report;
 }
 
 void Simulation::register_stage_parents(const Application& app) {
-  if (!spans_) return;
+  if (!spans_ && !config_.enable_analysis) return;
   for (const auto& job : app.jobs) {
     for (const auto& stage : job.stages) {
-      if (!stage.parents.empty()) spans_->set_stage_parents(stage.id, stage.parents);
+      if (spans_ && !stage.parents.empty()) spans_->set_stage_parents(stage.id, stage.parents);
+      if (config_.enable_analysis) {
+        stage_job_[stage.id] = job.id;
+        if (!stage.parents.empty()) analysis_stage_parents_[stage.id] = stage.parents;
+      }
     }
   }
+}
+
+RunArtifacts Simulation::run_artifacts() const {
+  RunArtifacts a;
+  a.spans = spans_.get();
+  a.audit = audit_.get();
+  a.trace = trace_.get();
+  a.jobs = analysis_jobs_;
+  a.stage_job = stage_job_;
+  a.stage_parents = analysis_stage_parents_;
+  a.nodes.reserve(executors_.size());
+  // Node ids are dense and never reused, so every executor ever created —
+  // including ones whose node has since been decommissioned — maps to a
+  // NodeSpec the cluster still holds.
+  for (std::size_t i = 0; i < executors_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    const NodeSpec& spec = cluster_->node(id).spec();
+    a.nodes.push_back({id, spec.name, spec.node_class, spec.cpu_perf, spec.gpus});
+  }
+  return a;
 }
 
 void Simulation::snapshot_gauges() {

@@ -22,6 +22,7 @@
 #include "faults/fault_injector.hpp"
 #include "metrics/jct.hpp"
 #include "metrics/utilization_sampler.hpp"
+#include "obs/analyzer.hpp"
 #include "obs/audit.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/overhead.hpp"
@@ -81,6 +82,11 @@ struct SimulationConfig {
   bool enable_metrics = false;
   bool enable_audit = false;
   bool enable_spans = false;
+  /// Collect the extra joins analyze_run needs (per-job JCT records and
+  /// stage→job / stage→parents maps) so run_artifacts() is complete.
+  /// Recording only copies ids at job completion — it schedules no
+  /// simulator events, so enabling it never perturbs the simulated run.
+  bool enable_analysis = false;
 
   /// Declarative fault plan to replay (see faults/fault_plan.hpp).
   FaultPlan faults;
@@ -146,6 +152,10 @@ class Simulation {
   DecisionAudit* audit() { return audit_.get(); }
   /// Non-null when enable_spans was set.
   SpanTrace* spans() { return spans_.get(); }
+  /// Bundle every recorded artifact for analyze_run. Jobs accumulate
+  /// across run() calls when enable_analysis is set; node facts cover
+  /// every executor ever registered, decommissioned ones included.
+  RunArtifacts run_artifacts() const;
   /// Attach a host wall-clock profiler to the scheduler's decision path
   /// and the heartbeat pump (not owned; pass nullptr to detach).
   void set_profiler(OverheadProfiler* profiler) {
@@ -177,6 +187,10 @@ class Simulation {
   std::unique_ptr<DecisionAudit> audit_;
   std::unique_ptr<SpanTrace> spans_;
   OverheadProfiler* profiler_ = nullptr;
+  /// Analysis joins (filled only when config_.enable_analysis).
+  std::vector<JobCompletion> analysis_jobs_;
+  std::map<StageId, JobId> stage_job_;
+  std::map<StageId, std::vector<StageId>> analysis_stage_parents_;
   /// Jitter stream for runtime-provisioned executors — separate from the
   /// construction-time stream so elastic runs never perturb the initial
   /// executors' draws (golden traces depend on them).

@@ -53,15 +53,22 @@ double confidence_interval_95(double stddev, std::size_t n) {
   return t * stddev / std::sqrt(static_cast<double>(n));
 }
 
-double percentile(std::vector<double> values, double p) {
+double percentile(std::vector<double> values, double p) { return percentile_inplace(values, p); }
+
+double percentile_inplace(std::vector<double>& values, double p) {
   if (values.empty()) throw std::invalid_argument("percentile: empty sample");
   if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
-  std::sort(values.begin(), values.end());
   double rank = p / 100.0 * static_cast<double>(values.size() - 1);
   auto lo = static_cast<std::size_t>(rank);
   auto hi = std::min(lo + 1, values.size() - 1);
   double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  auto lo_it = values.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(values.begin(), lo_it, values.end());
+  double lo_val = *lo_it;
+  if (hi == lo || frac == 0.0) return lo_val;
+  // The hi rank is the minimum of the suffix nth_element left above lo.
+  double hi_val = *std::min_element(lo_it + 1, values.end());
+  return lo_val * (1.0 - frac) + hi_val * frac;
 }
 
 double mean_of(const std::vector<double>& values) {

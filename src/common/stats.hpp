@@ -36,7 +36,13 @@ class RunningStats {
 double confidence_interval_95(double stddev, std::size_t n);
 
 /// Percentile (linear interpolation) of an unsorted sample; p in [0, 100].
+/// Copies the sample — prefer percentile_inplace when the caller owns a
+/// scratch vector it no longer needs ordered.
 double percentile(std::vector<double> values, double p);
+
+/// Same statistic, computed in place with nth_element (O(n) instead of a
+/// copy + O(n log n) sort). Reorders `values` arbitrarily.
+double percentile_inplace(std::vector<double>& values, double p);
 
 double mean_of(const std::vector<double>& values);
 double stddev_of(const std::vector<double>& values);

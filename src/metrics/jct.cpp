@@ -19,9 +19,9 @@ JctSummary summarize_jct(const std::vector<JobCompletion>& jobs) {
   }
   s.mean = mean_of(jcts);
   s.max = *std::max_element(jcts.begin(), jcts.end());
-  s.p50 = percentile(jcts, 50.0);
-  s.p95 = percentile(jcts, 95.0);
-  s.p99 = percentile(jcts, 99.0);
+  s.p50 = percentile_inplace(jcts, 50.0);
+  s.p95 = percentile_inplace(jcts, 95.0);
+  s.p99 = percentile_inplace(jcts, 99.0);
   s.mean_queueing = queueing / static_cast<double>(jobs.size());
   return s;
 }

@@ -69,8 +69,16 @@ const char* kind_name(int kind) {
 }  // namespace
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
-  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
-    throw std::invalid_argument("Histogram bounds must be ascending");
+  // Strictly ascending and finite: duplicates would create dead buckets
+  // whose cumulative counts silently coincide, and a non-finite bound
+  // would shadow the implicit +Inf bucket.
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (!std::isfinite(bounds_[i])) {
+      throw std::invalid_argument("Histogram bounds must be finite");
+    }
+    if (i > 0 && bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram bounds must be strictly ascending");
+    }
   }
   per_bucket_.assign(bounds_.size() + 1, 0);
 }

@@ -46,6 +46,34 @@ void CellResult::aggregate() {
   p50_jct = aggregate_metric(p50s);
   p95_jct = aggregate_metric(p95s);
   utilization = aggregate_metric(utils);
+
+  analyzed = false;
+  analyzer = AnalyzerSummary{};
+  std::size_t analyzed_reps = 0;
+  for (const RunResult& r : reps) {
+    if (!r.ok || !r.analyzed) continue;
+    analyzed = true;
+    ++analyzed_reps;
+    analyzer.stragglers += r.analyzer.stragglers;
+    for (std::size_t c = 0; c < analyzer.by_cause.size(); ++c) {
+      analyzer.by_cause[c] += r.analyzer.by_cause[c];
+    }
+    analyzer.critical_path += r.analyzer.critical_path;
+  }
+  if (analyzed_reps > 1) {
+    // Counts stay summed; the attribution reads best as a per-run mean.
+    double n = static_cast<double>(analyzed_reps);
+    PhaseAttribution& a = analyzer.critical_path;
+    a.queueing /= n;
+    a.input_read /= n;
+    a.shuffle_read /= n;
+    a.compute /= n;
+    a.gc /= n;
+    a.shuffle_write /= n;
+    a.spill /= n;
+    a.output_send /= n;
+    a.driver /= n;
+  }
 }
 
 std::size_t SweepMatrix::total_runs() const {
@@ -88,6 +116,12 @@ RunResult run_sweep_cell(const SweepSpec& spec, const CellCoord& cell, int repli
   parse_elastic_mode(elastic, autoscale, preempt);  // validated by the spec
   cfg.autoscale.enabled = autoscale;
   cfg.preemption.enabled = preempt;
+  if (spec.analyze) {
+    cfg.enable_analysis = true;
+    cfg.enable_spans = true;
+    cfg.enable_audit = true;
+    cfg.enable_trace = true;
+  }
   cfg.seed = seed;
 
   ArrivalConfig arrivals;
@@ -112,6 +146,10 @@ RunResult run_sweep_cell(const SweepSpec& spec, const CellCoord& cell, int repli
     r.p99_jct = report.overall.p99;
     r.mean_queueing = report.overall.mean_queueing;
     if (sim.sampler() != nullptr) r.avg_cpu_util = sim.sampler()->avg_cpu_util();
+    if (spec.analyze) {
+      r.analyzer = summarize_diagnosis(analyze_run(sim.run_artifacts()));
+      r.analyzed = true;
+    }
   }
   r.kernel = sim.sim().stats();
   r.ok = true;
@@ -259,6 +297,10 @@ void SweepMatrix::write_json(std::ostream& os) const {
         w.key("p99_jct_s").value(r.p99_jct);
         w.key("mean_queueing_s").value(r.mean_queueing);
         w.key("avg_cpu_util").value(r.avg_cpu_util);
+        if (r.analyzed) {
+          w.key("analyzer");
+          write_analyzer_summary_json(r.analyzer, w);
+        }
       }
       w.end_object();
     }
@@ -268,6 +310,10 @@ void SweepMatrix::write_json(std::ostream& os) const {
     write_aggregate(w, "p50_jct_s", cell.p50_jct);
     write_aggregate(w, "p95_jct_s", cell.p95_jct);
     write_aggregate(w, "avg_cpu_util", cell.utilization);
+    if (cell.analyzed) {
+      w.key("analyzer");
+      write_analyzer_summary_json(cell.analyzer, w);
+    }
     w.end_object();
   }
   w.end_array();

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/analyzer.hpp"
 #include "simcore/kernel_stats.hpp"
 #include "sweep/sweep_spec.hpp"
 
@@ -46,6 +47,10 @@ struct RunResult {
   double mean_queueing = 0.0;
   double avg_cpu_util = 0.0;  // fraction; 0 when sampling is off
   KernelStats kernel{};       // this run's Simulator counters
+  /// Filled when the spec's `analyze` flag is on: straggler counts by
+  /// cause and the summed critical-path attribution for this run.
+  bool analyzed = false;
+  AnalyzerSummary analyzer{};
 };
 
 /// Mean and small-sample 95% CI (Student-t) over n replication values.
@@ -71,6 +76,10 @@ struct CellResult {
   MetricAggregate p50_jct;
   MetricAggregate p95_jct;
   MetricAggregate utilization;
+  /// Analyzer rollup over the ok reps (counts summed, critical path
+  /// averaged); `analyzed` is true when at least one rep carried one.
+  bool analyzed = false;
+  AnalyzerSummary analyzer{};
 
   /// Recompute `failed` and the aggregates from `reps`.
   void aggregate();

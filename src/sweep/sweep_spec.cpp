@@ -239,6 +239,9 @@ SweepSpec parse_sweep_json(const std::string& text) {
     } else if (key == "sample_utilization") {
       if (!value.is_bool()) spec_error("sample_utilization must be a bool");
       spec.sample_utilization = value.as_bool();
+    } else if (key == "analyze") {
+      if (!value.is_bool()) spec_error("analyze must be a bool");
+      spec.analyze = value.as_bool();
     } else {
       spec_error("unknown key '" + key + "'");
     }
@@ -290,6 +293,7 @@ std::string sweep_to_json(const SweepSpec& spec) {
   w.key("iterations").value(spec.iterations_override);
   w.key("max_apps").value(static_cast<unsigned long long>(spec.max_apps));
   w.key("sample_utilization").value(spec.sample_utilization);
+  w.key("analyze").value(spec.analyze);
   w.end_object();
   return os.str();
 }

@@ -58,6 +58,11 @@ struct SweepSpec {
   int iterations_override = 0;
   std::size_t max_apps = 0;
   bool sample_utilization = true;
+  /// Run the post-run analyzer on every run and carry per-run / per-cell
+  /// straggler + critical-path summaries in the matrix (JSON key
+  /// "analyze"). Off by default: analysis records spans/audit/trace per
+  /// run, which costs memory at large grid sizes.
+  bool analyze = false;
 
   std::size_t cell_count() const {
     return schedulers.size() * fleet_sizes.size() * arrival_rates.size() * fault_plans.size() *

@@ -4,14 +4,17 @@
 // them.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <regex>
 #include <sstream>
 
 #include "app/cli.hpp"
 #include "app/simulation.hpp"
 #include "cluster/presets.hpp"
+#include "faults/fault_plan.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/overhead.hpp"
 #include "workloads/presets.hpp"
@@ -132,6 +135,21 @@ TEST(MetricsRegistry, CounterGaugeHistogramBasics) {
   EXPECT_EQ(cum[1], 3u);
   EXPECT_EQ(cum[2], 4u);
   EXPECT_EQ(reg.series_count(), 4u);
+}
+
+TEST(MetricsRegistry, HistogramRejectsMalformedBounds) {
+  // Unsorted, duplicate, and non-finite bucket bounds would silently
+  // misroute observations; construction must refuse them up front.
+  EXPECT_THROW(Histogram({5.0, 1.0}), std::invalid_argument);           // unsorted
+  EXPECT_THROW(Histogram({1.0, 1.0, 5.0}), std::invalid_argument);      // duplicate
+  EXPECT_THROW(Histogram({1.0, std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);                                  // +Inf is implicit
+  EXPECT_THROW(Histogram({std::nan("")}), std::invalid_argument);       // NaN
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("bad_seconds", {2.0, 2.0}), std::invalid_argument);
+  // Valid ascending bounds (including an empty set — one +Inf bucket) pass.
+  EXPECT_NO_THROW(Histogram({}));
+  EXPECT_NO_THROW(Histogram({-1.0, 0.0, 2.5}));
 }
 
 TEST(MetricsRegistry, RejectsMalformedNamesAndTypeConflicts) {
@@ -263,6 +281,71 @@ TEST(DecisionAudit, CsvEscapesAndJoinsCandidates) {
   audit.write_json(js);
   EXPECT_EQ(js.str().front(), '[');
   EXPECT_NE(js.str().find("\"rupam_heap_match\""), std::string::npos);
+}
+
+// Count RFC 4180 records: newlines inside quoted fields do not end a row.
+std::size_t csv_record_count(const std::string& text) {
+  std::size_t records = 0;
+  bool quoted = false;
+  for (char c : text) {
+    if (c == '"') quoted = !quoted;
+    if (c == '\n' && !quoted) ++records;
+  }
+  return records;
+}
+
+TEST(DecisionAudit, ElasticFleetExportSurvivesDecommission) {
+  // A spot revocation mid-run decommissions a node earlier decisions placed
+  // work on. The export must stay valid: those records keep their (now
+  // departed) node id, the CSV row count matches the audit size, and a
+  // spot-drain reason carrying every RFC 4180 special round-trips escaped.
+  SimulationConfig cfg;
+  cfg.scheduler = SchedulerKind::kRupam;
+  cfg.enable_audit = true;
+  cfg.enable_trace = true;
+  cfg.faults = parse_fault_spec("spot@14:node=2:notice=4");
+  Simulation sim(cfg);
+  const WorkloadPreset& preset = workload_preset("TeraSort");
+  WorkloadParams params;
+  params.input_gb = preset.input_gb / 16.0;
+  params.iterations = 1;
+  params.seed = 5;
+  params.placement_weights = hdfs_placement_weights(sim.cluster());
+  sim.run(preset.factory(sim.cluster().node_ids(), params));
+
+  ASSERT_EQ(sim.cluster().lifecycle(2), NodeLifecycle::kDecommissioned);
+  ASSERT_NE(sim.audit(), nullptr);
+  DecisionAudit audit = *sim.audit();  // copy; then append an escape-bait row
+  std::size_t on_revoked = 0;
+  for (const DispatchDecision& d : audit.decisions()) {
+    if (d.node == 2) ++on_revoked;
+  }
+  EXPECT_GT(on_revoked, 0u) << "no decision ever placed work on the revoked node";
+
+  DispatchDecision drain;
+  drain.time = 18.0;
+  drain.scheduler = "RUPAM";
+  drain.stage = 9;
+  drain.task = 1;
+  drain.node = 2;
+  drain.reason = "spot_drain, notice=\"4s\"";
+  drain.detail = "relaunch from node 2,\nqueue=CPU";
+  drain.candidates_considered = 1;
+  drain.candidate_nodes = {2};
+  audit.record(drain);
+
+  std::ostringstream os;
+  audit.write_csv(os);
+  const std::string text = os.str();
+  // Header + one row per decision, even with the embedded newline.
+  EXPECT_EQ(csv_record_count(text), audit.size() + 1);
+  EXPECT_NE(text.find("\"spot_drain, notice=\"\"4s\"\"\""), std::string::npos);
+  EXPECT_NE(text.find("\"relaunch from node 2,\nqueue=CPU\""), std::string::npos);
+
+  std::ostringstream js;
+  audit.write_json(js);
+  EXPECT_NE(js.str().find("\"spot_drain, notice=\\\"4s\\\"\""), std::string::npos);
+  EXPECT_NE(js.str().find("\\n"), std::string::npos);  // newline stays escaped
 }
 
 TEST(DecisionAudit, OneRecordPerLaunchForEveryScheduler) {
