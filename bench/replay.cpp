@@ -1,0 +1,210 @@
+// Counterfactual-replay regression gates (DESIGN.md §14).
+//
+// Sections:
+//  * restore  — checkpoint SQL-under-Spark on the Fig 3 motivation pair
+//               at half its makespan, restore from the serialized JSON,
+//               finish, and require the scheduling-event trace CSV to be
+//               byte-identical to the uninterrupted run. Restore must
+//               verify every pinned decision.
+//  * whatif   — feed the base run's own --analyze diagnosis to the
+//               advisor. Gates: the top-ranked finding is the scheduler
+//               swap to RUPAM with a positive p95 JCT saving, its
+//               motivation is the slow_node_class cause (the paper's Fig 3
+//               observation driving its fix), and a node-override
+//               candidate for the blamed dispatch is present.
+//  * overhead — checkpoint + restore-to-end wall time must stay <= 2x the
+//               straight run's wall (replay is re-execution, so ~1x is
+//               expected; 2x bounds pin-verification and rebuild costs).
+//
+// usage: replay  (no arguments; writes BENCH_replay.json)
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "app/run_spec.hpp"
+#include "app/simulation.hpp"
+#include "bench_common.hpp"
+#include "cluster/fleet.hpp"
+#include "metrics/event_trace.hpp"
+#include "obs/analyzer.hpp"
+#include "replay/checkpoint.hpp"
+#include "replay/whatif.hpp"
+
+namespace {
+
+constexpr double kMaxReplayWallShare = 2.0;  // of straight-run wall
+
+/// The paper's Fig 3 motivation pair (examples/motivation_fleet.json):
+/// one slow-CPU node, one fast-CPU node behind a 10 Gb/s switch.
+rupam::FleetSpec motivation_fleet() {
+  return rupam::parse_fleet_json(R"({
+    "name": "motivation-pair",
+    "seed": 1,
+    "switch_gbps": 10,
+    "classes": [
+      {"name": "slow-cpu", "count": 1, "base": "thor", "cores": 16,
+       "cpu_ghz": 1.6, "cpu_perf": 0.67, "memory_gb": 48, "net_gbps": 1,
+       "ssd": false},
+      {"name": "fast-cpu", "count": 1, "base": "thor", "cores": 16,
+       "cpu_ghz": 2.4, "cpu_perf": 1.0, "memory_gb": 48, "net_gbps": 10,
+       "ssd": false}
+    ]
+  })");
+}
+
+/// SQL under stock Spark on the pair: the heterogeneity-sensitive run the
+/// what-if gate reasons about (RUPAM wins it decisively; see README).
+rupam::RunSpec sql_on_pair() {
+  rupam::RunSpec spec;
+  spec.workload = "SQL";
+  spec.workload_explicit = true;
+  spec.scheduler = rupam::SchedulerKind::kSpark;
+  spec.fleet_spec = motivation_fleet();
+  return spec;
+}
+
+std::string trace_csv(const rupam::Simulation& sim) {
+  std::ostringstream os;
+  sim.trace()->write_csv(os);
+  return os.str();
+}
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace rupam;
+  bench::print_header("Replay", "checkpoint/restore byte-identity, what-if advisor on the "
+                                "Fig 3 pair, and replay overhead");
+  bench::JsonReport json("replay");
+  int failures = 0;
+
+  const RunSpec spec = sql_on_pair();
+  SimulationConfig obs_cfg;  // diagnosis needs the full observability set
+  obs_cfg.enable_analysis = true;
+  obs_cfg.enable_spans = true;
+  obs_cfg.enable_trace = true;
+
+  // --- straight run: the reference trace, diagnosis and wall ------------
+  double straight_ms = 0.0;
+  SimTime makespan = 0.0;
+  std::string straight_csv;
+  std::string diagnosis_json;
+  {
+    ReplayRun run = start_replay_run(spec, obs_cfg);
+    auto t0 = std::chrono::steady_clock::now();
+    makespan = run.sim->finish();
+    straight_ms = wall_ms_since(t0);
+    json.record_kernel(run.sim->sim().stats());
+    straight_csv = trace_csv(*run.sim);
+    std::ostringstream diag;
+    write_diagnosis_json(analyze_run(run.sim->run_artifacts()), diag);
+    diagnosis_json = diag.str();
+    json.add("straight_makespan_s", makespan);
+    json.add("straight_wall_ms", straight_ms);
+    std::cout << "straight: SQL under Spark on the pair, makespan "
+              << format_fixed(makespan, 1) << " s (" << format_fixed(straight_ms, 1)
+              << " ms wall)\n";
+  }
+
+  // --- restore: checkpoint at half-makespan, JSON round-trip, finish ----
+  double replay_ms = 0.0;
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    Checkpoint cp = capture_checkpoint(spec, makespan / 2.0);
+    Checkpoint restored_cp = parse_checkpoint_json(checkpoint_to_json(cp));
+    ReplayRun resumed = restore_checkpoint(restored_cp, obs_cfg);
+    SimTime resumed_makespan = resumed.sim->finish();
+    replay_ms = wall_ms_since(t0);
+    json.record_kernel(resumed.sim->sim().stats());
+    bool identical = trace_csv(*resumed.sim) == straight_csv;
+    json.add("checkpoint_pins", static_cast<double>(cp.pins.size()));
+    json.add("restore_makespan_s", resumed_makespan);
+    json.add("restore_trace_identical", identical ? 1.0 : 0.0);
+    std::cout << "restore: " << cp.pins.size() << " pinned decisions at t="
+              << format_fixed(cp.time, 1) << ", trace "
+              << (identical ? "byte-identical" : "DIFFERS") << " vs straight run\n";
+    if (!identical) {
+      std::cerr << "FAIL: restore-then-finish trace differs from the uninterrupted run\n";
+      ++failures;
+    }
+    if (resumed_makespan != makespan) {
+      std::cerr << "FAIL: restored makespan " << resumed_makespan << " != straight "
+                << makespan << "\n";
+      ++failures;
+    }
+  }
+
+  // --- whatif: the advisor must rediscover the paper's fix --------------
+  {
+    std::vector<DiagnosedStraggler> stragglers = parse_diagnosis_stragglers(diagnosis_json);
+    WhatIfConfig wcfg;
+    wcfg.threads = 2;
+    WhatIfReport report = advise_whatif(spec, stragglers, wcfg);
+    json.add("whatif_stragglers", static_cast<double>(stragglers.size()));
+    json.add("whatif_candidates", static_cast<double>(report.findings.size()));
+    std::cout << "whatif: " << stragglers.size() << " stragglers -> "
+              << report.findings.size() << " candidates\n";
+    for (const WhatIfFinding& f : report.findings) {
+      std::cout << "  " << f.branch.label << ": p95 saving "
+                << format_fixed(f.p95_jct_saving, 3) << " s (" << f.motivation << ")\n";
+    }
+    if (report.findings.empty()) {
+      std::cerr << "FAIL: advisor produced no candidates\n";
+      ++failures;
+    } else {
+      const WhatIfFinding& top = report.findings.front();
+      json.add("whatif_top_p95_saving_s", top.p95_jct_saving);
+      bool top_is_rupam = top.branch.label == "scheduler=rupam";
+      bool top_blames_slow_class =
+          top.motivation.find("slow_node_class") != std::string::npos;
+      if (!top_is_rupam || top.p95_jct_saving <= 0.0) {
+        std::cerr << "FAIL: top finding is '" << top.branch.label << "' saving "
+                  << top.p95_jct_saving << " s; expected scheduler=rupam with a "
+                  << "positive p95 JCT saving\n";
+        ++failures;
+      }
+      if (!top_blames_slow_class) {
+        std::cerr << "FAIL: top finding's motivation '" << top.motivation
+                  << "' does not cite slow_node_class\n";
+        ++failures;
+      }
+      bool has_node_override = false;
+      for (const WhatIfFinding& f : report.findings) {
+        if (f.branch.kind == BranchKind::kNodeOverride) has_node_override = true;
+      }
+      json.add("whatif_has_node_override", has_node_override ? 1.0 : 0.0);
+      if (!has_node_override) {
+        std::cerr << "FAIL: no node-override candidate for the blamed dispatch\n";
+        ++failures;
+      }
+    }
+  }
+
+  // --- overhead: checkpoint + restore + finish vs straight --------------
+  {
+    double share = straight_ms > 0.0 ? replay_ms / straight_ms : 0.0;
+    json.add("replay_wall_ms", replay_ms);
+    json.add("replay_wall_share", share);
+    std::cout << "overhead: checkpoint+restore+finish " << format_fixed(replay_ms, 1)
+              << " ms vs straight " << format_fixed(straight_ms, 1) << " ms ("
+              << format_fixed(share, 2) << "x)\n";
+    if (share > kMaxReplayWallShare) {
+      std::cerr << "FAIL: replay wall " << format_fixed(share, 2) << "x straight run > "
+                << kMaxReplayWallShare << "x\n";
+      ++failures;
+    }
+  }
+
+  json.write();
+  if (failures > 0) return 1;
+  std::cout << "\nReading: a checkpoint is just (RunSpec, T, pinned decisions) — restore\n"
+               "re-executes and proves it landed on the same run, and the advisor\n"
+               "independently rediscovers the paper's conclusion: heterogeneity-aware\n"
+               "placement is what the slow-CPU stragglers were asking for.\n";
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "faults/fault_plan.hpp"
 #include "metrics/locality_counter.hpp"
 #include "obs/comparator.hpp"
+#include "replay/whatif.hpp"
 #include "sweep/orchestrator.hpp"
 #include "workloads/presets.hpp"
 
@@ -17,8 +18,10 @@ namespace rupam {
 
 std::string cli_usage() {
   return "usage: rupam_sim [options]\n"
+         "  --config RUN.json      load a declarative run spec (schema in DESIGN.md §14);\n"
+         "                         every other flag overrides its fields\n"
          "  --workload NAME        LR|TeraSort|SQL|PR|TC|GM|KMeans (default PR)\n"
-         "  --scheduler NAME       spark|rupam|stageaware|fifo (default rupam)\n"
+         "  --scheduler NAME       spark|rupam|stageaware|fifo|heft (default rupam)\n"
          "  --fleet PATH           JSON fleet spec: generate the cluster from node-class\n"
          "                         mixes instead of the 12-node Hydra preset (schema in\n"
          "                         DESIGN.md §9)\n"
@@ -70,6 +73,23 @@ std::string cli_usage() {
          "  --preempt              fair-share preemption: kill-and-resubmit tasks of\n"
          "                         pools above their share when another pool starves\n"
          "                         (needs --pool-policy fair)\n"
+         "  --checkpoint-at T      capture a checkpoint at simulated time T: replays the\n"
+         "                         run deterministically to T and pins every dispatch\n"
+         "                         decision made so far (format in DESIGN.md §14)\n"
+         "  --checkpoint-out PATH  write the checkpoint JSON here\n"
+         "  --restore PATH         restore a checkpoint: replay to its time, verify the\n"
+         "                         pinned decision prefix, then run to completion; with\n"
+         "                         --branch / --whatif it supplies the run spec instead\n"
+         "  --branch SPEC          counterfactual branch: node:stage=S:task=T:node=N\n"
+         "                         [:attempt=A], scheduler=NAME, or suppress:kind=K\n"
+         "                         [:node=N] (K: crash|slow|hbdrop|degrade|spot); runs\n"
+         "                         base + branch and diffs the outcomes\n"
+         "  --branch-out PATH      write the branch report JSON here\n"
+         "  --whatif DIAG.json     what-if advisor: take a --analyze diagnosis, replay\n"
+         "                         counterfactuals for the top straggler causes, rank\n"
+         "                         them by seconds of p95 JCT saved\n"
+         "  --whatif-out PATH      write the ranked findings JSON here (default stdout)\n"
+         "  --report-out PATH      write the run's flat outcome JSON (feeds --compare)\n"
          "  --list                 list available workloads\n"
          "  --help                 this text\n";
 }
@@ -78,8 +98,79 @@ std::optional<SchedulerKind> scheduler_from_name(const std::string& name) {
   return scheduler_kind_from_name(name);
 }
 
+RunSpec run_spec_from_cli(const CliOptions& options) {
+  RunSpec s;
+  s.workload = options.workload;
+  s.workload_explicit = options.workload_explicit;
+  s.scheduler = options.scheduler;
+  s.fleet = options.fleet;
+  s.fleet_spec = options.fleet_spec;
+  if (!s.fleet.empty()) s.fleet_spec.reset();  // an explicit --fleet wins
+  s.iterations = options.iterations;
+  s.seed = options.seed;
+  s.sample_utilization = options.sample_utilization;
+  s.faults = options.faults;
+  s.chaos_seed = options.chaos_seed;
+  s.arrivals = options.arrivals;
+  s.tenants = options.tenants;
+  s.pool_policy = options.pool_policy;
+  s.duration = options.duration;
+  s.diurnal = options.diurnal;
+  s.diurnal_period = options.diurnal_period;
+  s.autoscale = options.autoscale;
+  s.spot_plan = options.spot_plan;
+  s.preempt = options.preempt;
+  return s;
+}
+
+CliOptions cli_from_run_spec(const RunSpec& spec) {
+  CliOptions o;
+  o.workload = spec.workload;
+  o.workload_explicit = spec.workload_explicit;
+  o.scheduler = spec.scheduler;
+  o.fleet = spec.fleet;
+  o.fleet_spec = spec.fleet_spec;
+  o.iterations = spec.iterations;
+  o.seed = spec.seed;
+  o.sample_utilization = spec.sample_utilization;
+  o.faults = spec.faults;
+  o.chaos_seed = spec.chaos_seed;
+  o.arrivals = spec.arrivals;
+  o.tenants = spec.tenants;
+  o.pool_policy = spec.pool_policy;
+  o.duration = spec.duration;
+  o.diurnal = spec.diurnal;
+  o.diurnal_period = spec.diurnal_period;
+  o.autoscale = spec.autoscale;
+  o.spot_plan = spec.spot_plan;
+  o.preempt = spec.preempt;
+  return o;
+}
+
 std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::ostream& err) {
   CliOptions opts;
+  // --config supplies defaults; it is applied before the flag loop so
+  // every other flag overrides it, wherever it sits on the command line.
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != "--config") continue;
+    if (i + 1 >= args.size()) {
+      err << "missing value for --config\n";
+      return std::nullopt;
+    }
+    if (!opts.config.empty()) {
+      err << "--config given twice\n";
+      return std::nullopt;
+    }
+    try {
+      RunSpec spec = load_run_spec_file(args[i + 1]);
+      spec.validate();
+      opts = cli_from_run_spec(spec);
+    } catch (const std::exception& e) {
+      err << e.what() << "\n";
+      return std::nullopt;
+    }
+    opts.config = args[i + 1];
+  }
   auto need_value = [&](std::size_t i) -> bool {
     if (i + 1 >= args.size()) {
       err << "missing value for " << args[i] << "\n";
@@ -264,6 +355,43 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::o
       }
     } else if (a == "--preempt") {
       opts.preempt = true;
+    } else if (a == "--config") {
+      if (!need_value(i)) return std::nullopt;
+      ++i;  // applied in the pre-pass above
+    } else if (a == "--checkpoint-at") {
+      if (!need_value(i)) return std::nullopt;
+      opts.checkpoint_at = std::atof(args[++i].c_str());
+      if (opts.checkpoint_at < 0.0) {
+        err << "checkpoint time must be >= 0\n";
+        return std::nullopt;
+      }
+    } else if (a == "--checkpoint-out") {
+      if (!need_value(i)) return std::nullopt;
+      opts.checkpoint_out = args[++i];
+    } else if (a == "--restore") {
+      if (!need_value(i)) return std::nullopt;
+      opts.restore = args[++i];
+    } else if (a == "--branch") {
+      if (!need_value(i)) return std::nullopt;
+      opts.branch = args[++i];
+      try {
+        parse_branch_spec(opts.branch);  // fail fast on malformed specs
+      } catch (const std::exception& e) {
+        err << e.what() << "\n";
+        return std::nullopt;
+      }
+    } else if (a == "--branch-out") {
+      if (!need_value(i)) return std::nullopt;
+      opts.branch_out = args[++i];
+    } else if (a == "--whatif") {
+      if (!need_value(i)) return std::nullopt;
+      opts.whatif = args[++i];
+    } else if (a == "--whatif-out") {
+      if (!need_value(i)) return std::nullopt;
+      opts.whatif_out = args[++i];
+    } else if (a == "--report-out") {
+      if (!need_value(i)) return std::nullopt;
+      opts.report_out = args[++i];
     } else {
       err << "unknown argument '" << a << "'\n";
       return std::nullopt;
@@ -278,14 +406,22 @@ bool has_suffix(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-/// Load --fleet and override the cluster layout; returns false (after
-/// writing to err) when the spec is unreadable or invalid.
+/// Load --fleet (or the --config-embedded fleet spec) and override the
+/// cluster layout; returns false (after writing to err) when the spec is
+/// unreadable or invalid.
 bool apply_fleet(SimulationConfig& cfg, const CliOptions& options, std::ostream& err) {
-  if (options.fleet.empty()) return true;
   try {
-    FleetSpec spec = load_fleet_file(options.fleet);
-    cfg.nodes = generate_fleet(spec);
-    if (spec.switch_bandwidth > 0.0) cfg.switch_bandwidth = spec.switch_bandwidth;
+    if (!options.fleet.empty()) {
+      FleetSpec spec = load_fleet_file(options.fleet);
+      cfg.nodes = generate_fleet(spec);
+      if (spec.switch_bandwidth > 0.0) cfg.switch_bandwidth = spec.switch_bandwidth;
+    } else if (options.fleet_spec) {
+      options.fleet_spec->validate();
+      cfg.nodes = generate_fleet(*options.fleet_spec);
+      if (options.fleet_spec->switch_bandwidth > 0.0) {
+        cfg.switch_bandwidth = options.fleet_spec->switch_bandwidth;
+      }
+    }
   } catch (const std::exception& e) {
     err << e.what() << "\n";
     return false;
@@ -297,15 +433,54 @@ void apply_observability_flags(SimulationConfig& cfg, const CliOptions& options)
   cfg.enable_metrics = !options.metrics_out.empty();
   cfg.enable_audit = !options.explain_out.empty();
   cfg.enable_spans = !options.trace_perfetto.empty();
-  if (!options.analyze_out.empty()) {
+  if (!options.analyze_out.empty() || !options.report_out.empty()) {
     // The analyzer joins spans x audit x event trace x JCT records, so
-    // --analyze implies all of them. Callers set enable_trace before
-    // calling this, so the |= here is the final word.
+    // --analyze (and the outcome summary behind --report-out) implies all
+    // of them. Callers set enable_trace before calling this, so the
+    // assignments here are the final word.
     cfg.enable_analysis = true;
     cfg.enable_spans = true;
     cfg.enable_audit = true;
     cfg.enable_trace = true;
   }
+}
+
+/// Write --trace-csv / --trace-chrome for a finished run. Returns 0, or 2
+/// if a path could not be opened.
+int write_event_traces(Simulation& sim, const CliOptions& options, std::ostream& err) {
+  if (sim.trace() == nullptr) return 0;
+  if (!options.trace_csv.empty()) {
+    std::ofstream f(options.trace_csv);
+    if (!f) {
+      err << "cannot open " << options.trace_csv << "\n";
+      return 2;
+    }
+    sim.trace()->write_csv(f);
+  }
+  if (!options.trace_chrome.empty()) {
+    std::ofstream f(options.trace_chrome);
+    if (!f) {
+      err << "cannot open " << options.trace_chrome << "\n";
+      return 2;
+    }
+    sim.trace()->write_chrome_tracing(f);
+  }
+  return 0;
+}
+
+/// Write --report-out (the comparator-ready flat outcome) for a finished
+/// full-observability run. Returns 0, or 2 on an unopenable path.
+int write_report_out(Simulation& sim, SimTime makespan, const CliOptions& options,
+                     std::ostream& err) {
+  if (options.report_out.empty()) return 0;
+  RunOutcome outcome = summarize_outcome(sim, makespan, options.analyze_k);
+  std::ofstream f(options.report_out);
+  if (!f) {
+    err << "cannot open " << options.report_out << "\n";
+    return 2;
+  }
+  f << outcome_to_json(outcome);
+  return 0;
 }
 
 /// Wire --autoscale / --spot-plan / --preempt into the config. The spot
@@ -446,6 +621,10 @@ int run_sweep_cli(const CliOptions& options, std::ostream& out, std::ostream& er
 }
 
 int run_multi_tenant(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  if (!options.report_out.empty()) {
+    err << "--report-out is single-run only (multi-tenant runs have no flat outcome)\n";
+    return 2;
+  }
   SimulationConfig cfg;
   cfg.scheduler = options.scheduler;
   cfg.seed = options.seed;
@@ -525,25 +704,134 @@ int run_multi_tenant(const CliOptions& options, std::ostream& out, std::ostream&
   if (options.preempt) {
     out << "preemptions=" << sim.scheduler().preemptions() << "\n";
   }
-  if (sim.trace() != nullptr) {
-    if (!options.trace_csv.empty()) {
-      std::ofstream f(options.trace_csv);
-      if (!f) {
-        err << "cannot open " << options.trace_csv << "\n";
-        return 2;
-      }
-      sim.trace()->write_csv(f);
-    }
-    if (!options.trace_chrome.empty()) {
-      std::ofstream f(options.trace_chrome);
-      if (!f) {
-        err << "cannot open " << options.trace_chrome << "\n";
-        return 2;
-      }
-      sim.trace()->write_chrome_tracing(f);
-    }
-  }
+  int rc = write_event_traces(sim, options, err);
+  if (rc != 0) return rc;
   return write_observability(sim, options, out, err);
+}
+
+int run_checkpoint_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  if (options.checkpoint_out.empty()) {
+    err << "--checkpoint-at needs --checkpoint-out PATH\n";
+    return 2;
+  }
+  if (options.repetitions != 1) {
+    err << "checkpointing is single-run — drop --repetitions\n";
+    return 2;
+  }
+  try {
+    RunSpec spec = run_spec_from_cli(options);
+    spec.validate();
+    Checkpoint cp = capture_checkpoint(spec, options.checkpoint_at);
+    std::ofstream f(options.checkpoint_out);
+    if (!f) {
+      err << "cannot open " << options.checkpoint_out << "\n";
+      return 2;
+    }
+    f << checkpoint_to_json(cp);
+    out << "checkpoint @ t=" << format_fixed(cp.time, 3) << "s: " << cp.pins.size()
+        << " pinned decisions -> " << options.checkpoint_out << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+}
+
+int run_restore_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  try {
+    Checkpoint cp = load_checkpoint_file(options.restore);
+    SimulationConfig base;
+    base.enable_trace = !options.trace_csv.empty() || !options.trace_chrome.empty();
+    apply_observability_flags(base, options);
+    ReplayRun run = restore_checkpoint(cp, base);
+    SimTime makespan = run.sim->finish();
+    out << "restored " << options.restore << " @ t=" << format_fixed(cp.time, 3) << "s ("
+        << cp.pins.size() << " pins verified)\n"
+        << "makespan: " << format_fixed(makespan, 1) << " s\n";
+    int rc = write_event_traces(*run.sim, options, err);
+    if (rc != 0) return rc;
+    rc = write_observability(*run.sim, options, out, err);
+    if (rc != 0) return rc;
+    return write_report_out(*run.sim, makespan, options, err);
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+}
+
+/// The RunSpec a replay mode (--branch / --whatif) operates on: the
+/// checkpoint's embedded spec when --restore names one, else the flags.
+RunSpec replay_run_spec(const CliOptions& options) {
+  RunSpec spec = options.restore.empty() ? run_spec_from_cli(options)
+                                         : load_checkpoint_file(options.restore).run;
+  spec.validate();
+  return spec;
+}
+
+int run_branch_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  try {
+    BranchSpec branch = parse_branch_spec(options.branch);
+    RunSpec spec = replay_run_spec(options);
+    BranchReport report = run_branch(spec, branch, nullptr, options.analyze_k);
+    if (!options.branch_out.empty()) {
+      std::ofstream f(options.branch_out);
+      if (!f) {
+        err << "cannot open " << options.branch_out << "\n";
+        return 2;
+      }
+      write_branch_report_json(report, f);
+    }
+    out << "branch '" << branch.label << "' vs " << report.base.scheduler << " base:\n"
+        << "  p95 JCT " << format_fixed(report.base.jct.p95, 3) << "s -> "
+        << format_fixed(report.branch.jct.p95, 3) << "s (saving "
+        << format_fixed(report.p95_jct_saving(), 3) << "s)\n"
+        << "  makespan " << format_fixed(report.base.makespan, 3) << "s -> "
+        << format_fixed(report.branch.makespan, 3) << "s\n";
+    print_comparison(report.comparison, out);
+    return 0;
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+}
+
+int run_whatif_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  std::ifstream f(options.whatif);
+  if (!f) {
+    err << "cannot open " << options.whatif << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  try {
+    std::vector<DiagnosedStraggler> stragglers = parse_diagnosis_stragglers(buf.str());
+    RunSpec spec = replay_run_spec(options);
+    WhatIfConfig wcfg;
+    wcfg.analyze_k = options.analyze_k;
+    wcfg.threads = options.sweep_threads;
+    WhatIfReport report = advise_whatif(spec, stragglers, wcfg);
+    if (!options.whatif_out.empty()) {
+      std::ofstream wf(options.whatif_out);
+      if (!wf) {
+        err << "cannot open " << options.whatif_out << "\n";
+        return 2;
+      }
+      write_whatif_json(report, wf);
+    } else {
+      write_whatif_json(report, out);
+    }
+    out << "what-if: base " << report.base.scheduler << " p95 JCT "
+        << format_fixed(report.base.jct.p95, 3) << "s, " << stragglers.size()
+        << " diagnosed stragglers, " << report.findings.size() << " counterfactuals:\n";
+    for (const WhatIfFinding& finding : report.findings) {
+      out << "  " << finding.branch.label << ": p95 saving "
+          << format_fixed(finding.p95_jct_saving, 3) << " s (" << finding.motivation << ")\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
 }
 
 }  // namespace
@@ -565,6 +853,18 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
   }
   if (!options.sweep.empty()) {
     return run_sweep_cli(options, out, err);
+  }
+  if (!options.whatif.empty()) {
+    return run_whatif_cli(options, out, err);
+  }
+  if (!options.branch.empty()) {
+    return run_branch_cli(options, out, err);
+  }
+  if (!options.restore.empty()) {
+    return run_restore_cli(options, out, err);
+  }
+  if (options.checkpoint_at >= 0.0) {
+    return run_checkpoint_cli(options, out, err);
   }
   if (options.arrivals > 0.0) {
     if (options.workload_explicit) {
@@ -622,7 +922,8 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     Simulation& sim = *sim_storage;
     Application app = build_workload(*preset, sim.cluster().node_ids(), cfg.seed,
                                      options.iterations, hdfs_placement_weights(sim.cluster()));
-    makespans.add(sim.run(app));
+    SimTime makespan = sim.run(app);
+    makespans.add(makespan);
     LocalityCounts counts = count_locality(sim.scheduler().completed());
     for (int l = 0; l < kNumLocalityLevels; ++l) locality[l] += counts[l];
     failures += sim.scheduler().failures().size();
@@ -641,25 +942,11 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     }
     // Traces and observability exports come from the last repetition.
     if (rep == options.repetitions - 1) {
-      if (sim.trace() != nullptr) {
-        if (!options.trace_csv.empty()) {
-          std::ofstream f(options.trace_csv);
-          if (!f) {
-            err << "cannot open " << options.trace_csv << "\n";
-            return 2;
-          }
-          sim.trace()->write_csv(f);
-        }
-        if (!options.trace_chrome.empty()) {
-          std::ofstream f(options.trace_chrome);
-          if (!f) {
-            err << "cannot open " << options.trace_chrome << "\n";
-            return 2;
-          }
-          sim.trace()->write_chrome_tracing(f);
-        }
-      }
-      int rc = write_observability(sim, options, out, err);
+      int rc = write_event_traces(sim, options, err);
+      if (rc != 0) return rc;
+      rc = write_observability(sim, options, out, err);
+      if (rc != 0) return rc;
+      rc = write_report_out(sim, makespan, options, err);
       if (rc != 0) return rc;
     }
   }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "app/run_spec.hpp"
 #include "app/simulation.hpp"
 
 namespace rupam {
@@ -64,27 +65,59 @@ struct CliOptions {
   std::string spot_plan;
   /// Enable fair-share preemption (needs --pool-policy fair to bite).
   bool preempt = false;
+  /// Declarative run spec (--config run.json): loaded first, every other
+  /// flag overrides its fields (see app/run_spec.hpp).
+  std::string config;
+  /// Fleet embedded by value in a --config spec. Only --config sets this
+  /// (no flag form); an explicit --fleet path overrides it.
+  std::optional<FleetSpec> fleet_spec;
+  /// >= 0: capture a checkpoint at this simulated time (see
+  /// replay/checkpoint.hpp) and write it to `checkpoint_out`.
+  SimTime checkpoint_at = -1.0;
+  std::string checkpoint_out;
+  /// Checkpoint path: restore (verify the pinned decision prefix) and run
+  /// to completion; with --branch / --whatif it supplies the RunSpec.
+  std::string restore;
+  /// Counterfactual branch spec (grammar in replay/branch.hpp).
+  std::string branch;
+  std::string branch_out;  // branch report JSON path; empty = table only
+  /// What-if advisor mode: path to a --analyze diagnosis JSON.
+  std::string whatif;
+  std::string whatif_out;  // ranked findings JSON path; empty = stdout
+  /// Write the run's flat outcome JSON (comparator-ready) here.
+  std::string report_out;
   bool list_workloads = false;
   bool help = false;
 };
 
 /// Parse argv. Returns std::nullopt and writes a message to `err` on
 /// invalid input. Recognized flags:
-///   --workload NAME --scheduler spark|rupam|stageaware|fifo --fleet PATH
+///   --config RUN.json
+///   --workload NAME --scheduler spark|rupam|stageaware|fifo|heft --fleet PATH
 ///   --iterations N --repetitions N --seed N --sample
 ///   --trace-csv PATH --trace-chrome PATH --trace-perfetto PATH
 ///   --metrics-out PATH --explain PATH --analyze PATH --analyze-k K
+///   --report-out PATH
 ///   --compare BASE TEST --compare-out PATH --compare-strict
 ///   --faults SPEC --chaos SEED
 ///   --arrivals RATE --tenants N --pool-policy fifo|fair --duration T
 ///   --diurnal AMP --diurnal-period T
 ///   --autoscale MAX --spot-plan SPEC --preempt
 ///   --sweep SPEC.json --sweep-threads N --sweep-out PATH
+///   --checkpoint-at T --checkpoint-out PATH --restore PATH
+///   --branch SPEC --branch-out PATH --whatif DIAG.json --whatif-out PATH
 ///   --list --help
 std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::ostream& err);
 
 /// Thin forwarder to scheduler_kind_from_name (sched/factory.hpp).
 std::optional<SchedulerKind> scheduler_from_name(const std::string& name);
+
+/// CliOptions → RunSpec projection (the run-identity fields only;
+/// observability and output paths stay behind).
+RunSpec run_spec_from_cli(const CliOptions& options);
+
+/// RunSpec → CliOptions: the --config defaults later flags override.
+CliOptions cli_from_run_spec(const RunSpec& spec);
 
 /// Run per the options; returns the process exit code.
 int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err);

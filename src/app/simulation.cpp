@@ -238,42 +238,70 @@ void Simulation::handle_membership(NodeId node, NodeLifecycle state) {
 }
 
 SimTime Simulation::run(const Application& app) {
+  begin(app);
+  return finish();
+}
+
+void Simulation::begin(const Application& app) {
+  if (run_active_) {
+    throw std::runtime_error("Simulation: begin() while another run is active");
+  }
   app.validate();
   register_stage_parents(app);
   // Analysis wants per-job JCT records even on the single-app path; the
   // observers only copy ids into the accountant, so enabling them leaves
   // the simulated event sequence untouched.
-  JctAccountant jct;
+  jct_.reset();
   if (config_.enable_analysis) {
-    dag_->set_job_observer([&jct](const DagScheduler::JobStats& s) {
-      jct.note_finished(s.job, s.app, s.pool, s.name, s.submitted, s.finished);
+    jct_.emplace();
+    dag_->set_job_observer([this](const DagScheduler::JobStats& s) {
+      jct_->note_finished(s.job, s.app, s.pool, s.name, s.submitted, s.finished);
     });
     scheduler_->set_launch_observer(
-        [&jct](JobId job, SimTime now) { jct.note_launch(job, now); });
+        [this](JobId job, SimTime now) { jct_->note_launch(job, now); });
   }
-  SimTime started = sim_.now();
-  bool done = false;
-  SimTime finished_at = 0.0;
+  run_app_name_ = app.name;
+  run_started_ = sim_.now();
+  run_done_ = false;
+  run_finished_at_ = 0.0;
+  run_steps_ = 0;
+  run_active_ = true;
   heartbeats_->start();
   if (sampler_) sampler_->start();
   if (autoscaler_) autoscaler_->start();
-  dag_->run(app, [&] {
-    done = true;
-    finished_at = sim_.now();
+  // DAG announcement (no-op for every scheduler without precomputed
+  // priorities) strictly precedes the first stage submission.
+  scheduler_->register_dag(app);
+  dag_->run(app, [this] {
+    run_done_ = true;
+    run_finished_at_ = sim_.now();
   });
-  std::size_t steps = 0;
-  while (!done) {
-    if (!sim_.step()) {
-      throw std::runtime_error("Simulation: event queue drained before completion");
-    }
-    if (sim_.now() - started > config_.max_sim_time) {
-      throw std::runtime_error("Simulation: exceeded max_sim_time — likely unschedulable");
-    }
-    if (++steps % 10000000 == 0) {
-      RUPAM_WARN(sim_.now(), "simulation still running after ", steps, " events (t=",
-                 sim_.now(), "s) — possible scheduling livelock");
-    }
+}
+
+void Simulation::step_once() {
+  if (!sim_.step()) {
+    throw std::runtime_error("Simulation: event queue drained before completion");
   }
+  if (sim_.now() - run_started_ > config_.max_sim_time) {
+    throw std::runtime_error("Simulation: exceeded max_sim_time — likely unschedulable");
+  }
+  if (++run_steps_ % 10000000 == 0) {
+    RUPAM_WARN(sim_.now(), "simulation still running after ", run_steps_, " events (t=",
+               sim_.now(), "s) — possible scheduling livelock");
+  }
+}
+
+bool Simulation::advance_until(SimTime t) {
+  if (!run_active_) throw std::runtime_error("Simulation: advance_until() without begin()");
+  // Events strictly after t stay queued, so the simulation pauses at the
+  // same quiescent point a straight run passes through at time t.
+  while (!run_done_ && sim_.next_event_time() <= t) step_once();
+  return run_done_;
+}
+
+SimTime Simulation::finish() {
+  if (!run_active_) throw std::runtime_error("Simulation: finish() without begin()");
+  while (!run_done_) step_once();
   if (autoscaler_) autoscaler_->stop();
   heartbeats_->stop();
   if (sampler_) sampler_->stop();
@@ -281,11 +309,13 @@ SimTime Simulation::run(const Application& app) {
   if (config_.enable_analysis) {
     dag_->set_job_observer(nullptr);
     scheduler_->set_launch_observer(nullptr);
-    analysis_jobs_.insert(analysis_jobs_.end(), jct.jobs().begin(), jct.jobs().end());
+    analysis_jobs_.insert(analysis_jobs_.end(), jct_->jobs().begin(), jct_->jobs().end());
+    jct_.reset();
   }
-  RUPAM_INFO(sim_.now(), scheduler_->name(), " finished '", app.name, "' in ",
-             finished_at - started, "s");
-  return finished_at - started;
+  run_active_ = false;
+  RUPAM_INFO(sim_.now(), scheduler_->name(), " finished '", run_app_name_, "' in ",
+             run_finished_at_ - run_started_, "s");
+  return run_finished_at_ - run_started_;
 }
 
 TenantRunReport Simulation::run(const SubmissionStream& stream) {
@@ -309,6 +339,9 @@ TenantRunReport Simulation::run(const SubmissionStream& stream) {
   if (autoscaler_) autoscaler_->start();
   for (const TimedSubmission& s : stream.items()) {
     sim_.schedule_at(started + s.at, [this, &s, &remaining, &finished_at] {
+      // Same announce-before-submit contract as the single-app path, per
+      // arriving application (still a no-op for rank-free schedulers).
+      scheduler_->register_dag(s.app);
       dag_->submit_app(s.app, [this, &remaining, &finished_at] {
         --remaining;
         finished_at = sim_.now();

@@ -113,8 +113,34 @@ class Simulation {
   Simulation& operator=(const Simulation&) = delete;
 
   /// Run `app` to completion; returns the makespan in simulated seconds.
-  /// Throws std::runtime_error if max_sim_time is exceeded.
+  /// Throws std::runtime_error if max_sim_time is exceeded. Exactly
+  /// begin(app) followed by finish() — the incremental API below exists
+  /// for the replay layer, which needs to pause at event boundaries.
   SimTime run(const Application& app);
+
+  /// Incremental run — same semantics as run(app), split at quiescent
+  /// points so callers (checkpointing, src/replay/) can stop mid-run:
+  ///
+  ///   sim.begin(app);
+  ///   sim.advance_until(t);   // fires every event with time <= t
+  ///   ... capture state ...
+  ///   SimTime makespan = sim.finish();
+  ///
+  /// `app` must outlive the run (the DAG scheduler keeps a pointer).
+  /// begin() submits and starts services; advance_until() returns true
+  /// once the application completed; finish() runs to completion, stops
+  /// services and returns the makespan. A straight begin+finish executes
+  /// the identical event sequence as run(app).
+  void begin(const Application& app);
+  bool advance_until(SimTime t);
+  SimTime finish();
+  /// True between begin() and finish().
+  bool run_active() const { return run_active_; }
+
+  /// Replay seam passthrough (see SchedulerBase::set_dispatch_interceptor).
+  void set_dispatch_interceptor(SchedulerBase::DispatchInterceptor fn) {
+    scheduler_->set_dispatch_interceptor(std::move(fn));
+  }
 
   /// Multi-tenant entry point: run every timed submission in `stream` to
   /// completion (applications overlap according to their arrival times and
@@ -187,6 +213,14 @@ class Simulation {
   std::unique_ptr<DecisionAudit> audit_;
   std::unique_ptr<SpanTrace> spans_;
   OverheadProfiler* profiler_ = nullptr;
+  /// Incremental-run state (begin/advance_until/finish).
+  std::optional<JctAccountant> jct_;
+  std::string run_app_name_;
+  SimTime run_started_ = 0.0;
+  SimTime run_finished_at_ = 0.0;
+  std::size_t run_steps_ = 0;
+  bool run_done_ = false;
+  bool run_active_ = false;
   /// Analysis joins (filled only when config_.enable_analysis).
   std::vector<JobCompletion> analysis_jobs_;
   std::map<StageId, JobId> stage_job_;
@@ -198,6 +232,8 @@ class Simulation {
   std::size_t membership_token_ = 0;
 
   void register_stage_parents(const Application& app);
+  /// Fire one event; throws on drained queue / max_sim_time overrun.
+  void step_once();
   void handle_membership(NodeId node, NodeLifecycle state);
   void trace_membership(NodeId node, TraceEventType type);
   void snapshot_gauges();

@@ -253,6 +253,10 @@ FleetSpec parse_fleet_json(const std::string& text) {
   } catch (const JsonParseError& e) {
     spec_error(e.what());
   }
+  return parse_fleet_value(doc);
+}
+
+FleetSpec parse_fleet_value(const JsonValue& doc) {
   if (!doc.is_object()) spec_error("top level must be an object");
   FleetSpec spec;
   bool have_classes = false;
@@ -294,6 +298,12 @@ FleetSpec load_fleet_file(const std::string& path) {
 std::string fleet_to_json(const FleetSpec& spec) {
   std::ostringstream os;
   JsonWriter w(os);
+  write_fleet_json(spec, w);
+  os << "\n";
+  return os.str();
+}
+
+void write_fleet_json(const FleetSpec& spec, JsonWriter& w) {
   w.begin_object();
   w.key("name").value(spec.name);
   w.key("seed").value(static_cast<unsigned long long>(spec.seed));
@@ -326,8 +336,6 @@ std::string fleet_to_json(const FleetSpec& spec) {
   }
   w.end_array();
   w.end_object();
-  os << "\n";
-  return os.str();
 }
 
 }  // namespace rupam

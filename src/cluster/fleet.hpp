@@ -14,6 +14,8 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/node_spec.hpp"
+#include "common/json_reader.hpp"
+#include "common/json_writer.hpp"
 #include "common/rng.hpp"
 
 namespace rupam {
@@ -79,6 +81,15 @@ FleetSpec scaled_hydra_fleet(int nodes, std::uint64_t seed);
 /// Parse a JSON fleet spec (schema in DESIGN.md §9). Unknown keys and
 /// type mismatches are errors; throws std::runtime_error.
 FleetSpec parse_fleet_json(const std::string& text);
+
+/// Same, from an already-parsed JSON value — lets enclosing documents
+/// (RunSpec's "fleet_spec", checkpoints) embed a fleet inline.
+FleetSpec parse_fleet_value(const JsonValue& doc);
+
+/// Write the spec as one JSON object into an in-progress writer (the
+/// embedding counterpart of parse_fleet_value). fleet_to_json is this
+/// plus a trailing newline on a fresh writer.
+void write_fleet_json(const FleetSpec& spec, JsonWriter& w);
 
 /// Read and parse a spec file; throws std::runtime_error (with the path)
 /// on IO or parse failure.

@@ -1,0 +1,191 @@
+#include "replay/checkpoint.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json_reader.hpp"
+#include "common/json_writer.hpp"
+
+namespace rupam {
+
+namespace {
+
+constexpr const char* kFormatTag = "rupam-checkpoint-v1";
+
+[[noreturn]] void cp_error(const std::string& message) {
+  throw std::runtime_error("checkpoint: " + message);
+}
+
+long long require_integer(const JsonValue& v, const std::string& what) {
+  if (!v.is_number()) cp_error(what + " must be a number");
+  double d = v.as_number();
+  if (d != std::floor(d)) cp_error(what + " must be an integer");
+  return static_cast<long long>(d);
+}
+
+DecisionPin parse_pin(const JsonValue& v, std::size_t index) {
+  const std::string what = "pins[" + std::to_string(index) + "]";
+  if (!v.is_array() || v.as_array().size() != 4) {
+    cp_error(what + " must be a [stage, task, attempt, node] array");
+  }
+  const JsonValue::Array& a = v.as_array();
+  DecisionPin pin;
+  pin.stage = static_cast<StageId>(require_integer(a[0], what + " stage"));
+  pin.task = static_cast<TaskId>(require_integer(a[1], what + " task"));
+  pin.attempt = static_cast<AttemptId>(require_integer(a[2], what + " attempt"));
+  pin.node = static_cast<NodeId>(require_integer(a[3], what + " node"));
+  return pin;
+}
+
+}  // namespace
+
+std::vector<DecisionPin> pin_prefix(const DecisionAudit& audit, SimTime t) {
+  std::vector<DecisionPin> pins;
+  pins.reserve(audit.size());
+  for (const DispatchDecision& d : audit.decisions()) {
+    if (d.time > t) break;  // decisions are recorded in launch order
+    pins.push_back({d.stage, d.task, d.attempt, d.node});
+  }
+  return pins;
+}
+
+std::string checkpoint_to_json(const Checkpoint& cp) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("format").value(kFormatTag);
+  w.key("time").raw(json_number(cp.time, 12));
+  w.key("run");
+  write_run_spec_json(cp.run, w);
+  w.key("pins").begin_array();
+  for (const DecisionPin& pin : cp.pins) {
+    w.begin_array();
+    w.value(static_cast<long long>(pin.stage));
+    w.value(static_cast<long long>(pin.task));
+    w.value(static_cast<long long>(pin.attempt));
+    w.value(static_cast<long long>(pin.node));
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+  return os.str();
+}
+
+Checkpoint parse_checkpoint_json(const std::string& text) {
+  JsonValue doc;
+  try {
+    doc = parse_json(text);
+  } catch (const JsonParseError& e) {
+    cp_error(e.what());
+  }
+  if (!doc.is_object()) cp_error("top level must be an object");
+  Checkpoint cp;
+  bool have_format = false, have_run = false, have_time = false;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "format") {
+      if (!value.is_string() || value.as_string() != kFormatTag) {
+        cp_error("format must be \"" + std::string(kFormatTag) + "\"");
+      }
+      have_format = true;
+    } else if (key == "time") {
+      if (!value.is_number()) cp_error("time must be a number");
+      cp.time = value.as_number();
+      if (cp.time < 0.0) cp_error("time must be >= 0");
+      have_time = true;
+    } else if (key == "run") {
+      try {
+        cp.run = parse_run_spec_value(value);
+      } catch (const std::exception& e) {
+        cp_error(std::string("run: ") + e.what());
+      }
+      have_run = true;
+    } else if (key == "pins") {
+      if (!value.is_array()) cp_error("pins must be an array");
+      const JsonValue::Array& pins = value.as_array();
+      cp.pins.reserve(pins.size());
+      for (std::size_t i = 0; i < pins.size(); ++i) cp.pins.push_back(parse_pin(pins[i], i));
+    } else {
+      cp_error("unknown key '" + key + "'");
+    }
+  }
+  if (!have_format) cp_error("missing \"format\"");
+  if (!have_time) cp_error("missing \"time\"");
+  if (!have_run) cp_error("missing \"run\"");
+  return cp;
+}
+
+Checkpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot read checkpoint '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  try {
+    return parse_checkpoint_json(buf.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+ReplayRun start_replay_run(const RunSpec& spec, const SimulationConfig& base) {
+  if (spec.arrivals > 0.0) {
+    cp_error("multi-tenant runs (arrivals > 0) cannot be checkpointed or branched");
+  }
+  SimulationConfig cfg = make_simulation_config(spec);
+  // Observability is output routing, inert to the event sequence — copy
+  // whatever the caller wants, then force the audit on: the decision log
+  // IS the replay layer's state.
+  cfg.enable_trace = base.enable_trace;
+  cfg.enable_metrics = base.enable_metrics;
+  cfg.enable_spans = base.enable_spans;
+  cfg.enable_analysis = base.enable_analysis;
+  cfg.enable_audit = true;
+  ReplayRun run;
+  run.sim = std::make_unique<Simulation>(cfg);
+  run.app = std::make_unique<Application>(make_run_application(spec, *run.sim));
+  run.sim->begin(*run.app);
+  return run;
+}
+
+Checkpoint capture_checkpoint(const RunSpec& spec, SimTime t, ReplayRun* keep_run) {
+  Checkpoint cp;
+  cp.run = spec;
+  // Resolve a fleet path into the embedded spec so the checkpoint stays
+  // restorable when the referenced file moves or changes.
+  if (!cp.run.fleet.empty()) {
+    cp.run.fleet_spec = load_fleet_file(cp.run.fleet);
+    cp.run.fleet.clear();
+  }
+  cp.time = t;
+  ReplayRun run = start_replay_run(cp.run);
+  run.sim->advance_until(t);
+  cp.pins = pin_prefix(*run.sim->audit(), t);
+  if (keep_run != nullptr) *keep_run = std::move(run);
+  return cp;
+}
+
+ReplayRun restore_checkpoint(const Checkpoint& cp, const SimulationConfig& base) {
+  ReplayRun run = start_replay_run(cp.run, base);
+  run.sim->advance_until(cp.time);
+  std::vector<DecisionPin> got = pin_prefix(*run.sim->audit(), cp.time);
+  if (got.size() != cp.pins.size()) {
+    cp_error("restore diverged: replay made " + std::to_string(got.size()) +
+             " decisions by t=" + std::to_string(cp.time) + ", checkpoint pinned " +
+             std::to_string(cp.pins.size()) +
+             " — the binary no longer reproduces this run");
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (!(got[i] == cp.pins[i])) {
+      cp_error("restore diverged at decision " + std::to_string(i) + ": replay launched (stage " +
+               std::to_string(got[i].stage) + ", task " + std::to_string(got[i].task) +
+               ", attempt " + std::to_string(got[i].attempt) + ") on node " +
+               std::to_string(got[i].node) + ", checkpoint pinned node " +
+               std::to_string(cp.pins[i].node));
+    }
+  }
+  return run;
+}
+
+}  // namespace rupam

@@ -1,0 +1,264 @@
+#include "replay/whatif.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/json_reader.hpp"
+#include "common/json_writer.hpp"
+#include "sweep/sweep_spec.hpp"
+#include "sweep/work_queue.hpp"
+
+namespace rupam {
+
+namespace {
+
+[[noreturn]] void whatif_error(const std::string& message) {
+  throw std::runtime_error("whatif: " + message);
+}
+
+long long require_integer(const JsonValue& v, const std::string& what) {
+  if (!v.is_number()) whatif_error(what + " must be a number");
+  double d = v.as_number();
+  if (d != std::floor(d)) whatif_error(what + " must be an integer");
+  return static_cast<long long>(d);
+}
+
+DiagnosedStraggler parse_straggler(const JsonValue& v, std::size_t index) {
+  const std::string what = "stragglers[" + std::to_string(index) + "]";
+  if (!v.is_object()) whatif_error(what + " must be an object");
+  DiagnosedStraggler s;
+  for (const auto& [key, value] : v.as_object()) {
+    if (key == "stage") {
+      s.stage = static_cast<StageId>(require_integer(value, what + ".stage"));
+    } else if (key == "task") {
+      s.task = static_cast<TaskId>(require_integer(value, what + ".task"));
+    } else if (key == "attempt") {
+      s.attempt = static_cast<AttemptId>(require_integer(value, what + ".attempt"));
+    } else if (key == "node") {
+      s.node = static_cast<NodeId>(require_integer(value, what + ".node"));
+    } else if (key == "duration") {
+      if (!value.is_number()) whatif_error(what + ".duration must be a number");
+      s.duration = value.as_number();
+    } else if (key == "stage_median") {
+      if (!value.is_number()) whatif_error(what + ".stage_median must be a number");
+      s.stage_median = value.as_number();
+    } else if (key == "cause") {
+      if (!value.is_string()) whatif_error(what + ".cause must be a string");
+      s.cause = value.as_string();
+    } else if (key == "detail") {
+      if (!value.is_string()) whatif_error(what + ".detail must be a string");
+      s.detail = value.as_string();
+    } else if (key == "node_class" || key == "ratio") {
+      // Present in the document, irrelevant to branch generation.
+    } else {
+      whatif_error(what + ": unknown key '" + key + "'");
+    }
+  }
+  if (s.cause.empty()) whatif_error(what + " missing \"cause\"");
+  return s;
+}
+
+double excess(const DiagnosedStraggler& s) {
+  return std::max(0.0, s.duration - s.stage_median);
+}
+
+/// The fleet's fastest node by cpu_perf (ties to the lowest id) — the
+/// slow-node counterfactual target.
+NodeId best_cpu_node(const RunSpec& spec) {
+  SimulationConfig cfg = make_simulation_config(spec);
+  std::vector<NodeSpec> nodes =
+      cfg.nodes.empty() ? generate_fleet(hydra_fleet_spec()) : cfg.nodes;
+  NodeId best = 0;
+  double best_perf = -1.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].cpu_perf > best_perf) {
+      best_perf = nodes[i].cpu_perf;
+      best = static_cast<NodeId>(i);
+    }
+  }
+  return best;
+}
+
+BranchSpec scheduler_branch(SchedulerKind kind) {
+  BranchSpec b;
+  b.kind = BranchKind::kScheduler;
+  b.scheduler = kind;
+  b.label = "scheduler=" + std::string(scheduler_cli_name(kind));
+  return b;
+}
+
+BranchSpec suppress_branch(const std::string& kind_token) {
+  BranchSpec b = parse_branch_spec("suppress:kind=" + kind_token);
+  return b;
+}
+
+BranchSpec override_branch(const DiagnosedStraggler& s, NodeId target) {
+  std::ostringstream label;
+  label << "node:stage=" << s.stage << ":task=" << s.task << ":node=" << target;
+  if (s.attempt != 0) label << ":attempt=" << s.attempt;
+  return parse_branch_spec(label.str());
+}
+
+std::string blame(const DiagnosedStraggler& s) {
+  std::ostringstream os;
+  os << s.cause << ": task " << s.task << " of stage " << s.stage << " on node " << s.node
+     << " ran " << json_number(s.duration, 3) << "s vs stage median "
+     << json_number(s.stage_median, 3) << "s";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<DiagnosedStraggler> parse_diagnosis_stragglers(const std::string& text) {
+  JsonValue doc;
+  try {
+    doc = parse_json(text);
+  } catch (const JsonParseError& e) {
+    whatif_error(e.what());
+  }
+  if (!doc.is_object()) whatif_error("diagnosis must be an object");
+  const JsonValue* stragglers = doc.find("stragglers");
+  if (stragglers == nullptr) whatif_error("diagnosis has no \"stragglers\" array");
+  if (!stragglers->is_array()) whatif_error("\"stragglers\" must be an array");
+  std::vector<DiagnosedStraggler> out;
+  const JsonValue::Array& rows = stragglers->as_array();
+  out.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) out.push_back(parse_straggler(rows[i], i));
+  return out;
+}
+
+std::vector<std::pair<BranchSpec, std::string>> propose_branches(
+    const RunSpec& spec, const std::vector<DiagnosedStraggler>& stragglers,
+    std::size_t max_candidates) {
+  // Rank causes by their total excess time over the stage median — the
+  // seconds the run demonstrably lost to each cause.
+  std::map<std::string, double> cause_excess;
+  std::map<std::string, const DiagnosedStraggler*> cause_worst;
+  for (const DiagnosedStraggler& s : stragglers) {
+    cause_excess[s.cause] += excess(s);
+    const DiagnosedStraggler*& worst = cause_worst[s.cause];
+    if (worst == nullptr || excess(s) > excess(*worst)) worst = &s;
+  }
+  std::vector<std::pair<std::string, double>> causes(cause_excess.begin(), cause_excess.end());
+  std::stable_sort(causes.begin(), causes.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  std::vector<std::pair<BranchSpec, std::string>> proposals;
+  auto add = [&proposals](BranchSpec b, std::string motivation) {
+    for (const auto& [existing, why] : proposals) {
+      (void)why;
+      if (existing.label == b.label) return;  // dedupe, first motivation wins
+    }
+    proposals.emplace_back(std::move(b), std::move(motivation));
+  };
+
+  for (const auto& [cause, total] : causes) {
+    (void)total;
+    const DiagnosedStraggler& worst = *cause_worst[cause];
+    if (cause == "slow_node_class") {
+      // The paper's Fig 3 case: redirect the blamed dispatch to the
+      // fastest node, and let RUPAM make that choice everywhere.
+      add(override_branch(worst, best_cpu_node(spec)), blame(worst));
+      if (spec.scheduler != SchedulerKind::kRupam) {
+        add(scheduler_branch(SchedulerKind::kRupam), blame(worst));
+      }
+    } else if (cause == "node_fault") {
+      add(suppress_branch("crash"), blame(worst));
+    } else if (cause == "spot_drain") {
+      add(suppress_branch("spot"), blame(worst));
+    } else if (spec.scheduler != SchedulerKind::kRupam) {
+      // gc_pressure / shuffle_skew / gpu_contention / pool_preemption /
+      // blacklist_rebound / unknown: placement-quality causes RUPAM's
+      // heterogeneity awareness addresses wholesale.
+      add(scheduler_branch(SchedulerKind::kRupam), blame(worst));
+    }
+  }
+  // Always offer the classic list-scheduling yardstick.
+  if (spec.scheduler != SchedulerKind::kHeft) {
+    add(scheduler_branch(SchedulerKind::kHeft), "baseline: upward-rank list scheduling");
+  }
+  if (proposals.size() > max_candidates) proposals.resize(max_candidates);
+  return proposals;
+}
+
+WhatIfReport advise_whatif(const RunSpec& spec, const std::vector<DiagnosedStraggler>& stragglers,
+                           const WhatIfConfig& config) {
+  WhatIfReport report;
+  report.base = run_base(spec, config.analyze_k);
+  auto proposals = propose_branches(spec, stragglers, config.max_candidates);
+
+  // Branch replays are independent cells — same worker-pool shape as the
+  // sweep engine, with results written into pre-sized slots so thread
+  // scheduling cannot reorder the aggregation.
+  std::vector<WhatIfFinding> findings(proposals.size());
+  std::vector<std::exception_ptr> errors(proposals.size());
+  WorkQueue<std::size_t> queue;
+  for (std::size_t i = 0; i < proposals.size(); ++i) queue.push(i);
+  queue.close();
+  unsigned hw = std::thread::hardware_concurrency();
+  std::size_t workers = config.threads > 0 ? static_cast<std::size_t>(config.threads)
+                                           : static_cast<std::size_t>(hw != 0 ? hw : 1);
+  workers = std::min(workers, proposals.size());
+  workers = std::max<std::size_t>(workers, proposals.empty() ? 0 : 1);
+  auto worker = [&] {
+    std::size_t index = 0;
+    while (queue.pop(index)) {
+      try {
+        WhatIfFinding& f = findings[index];
+        f.branch = proposals[index].first;
+        f.motivation = proposals[index].second;
+        f.outcome = run_branch_side(spec, f.branch, config.analyze_k);
+        f.p95_jct_saving = report.base.jct.p95 - f.outcome.jct.p95;
+        f.makespan_saving = report.base.makespan - f.outcome.makespan;
+      } catch (...) {
+        errors[index] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  std::stable_sort(findings.begin(), findings.end(), [](const WhatIfFinding& a,
+                                                        const WhatIfFinding& b) {
+    if (a.p95_jct_saving != b.p95_jct_saving) return a.p95_jct_saving > b.p95_jct_saving;
+    if (a.makespan_saving != b.makespan_saving) return a.makespan_saving > b.makespan_saving;
+    return a.branch.label < b.branch.label;
+  });
+  report.findings = std::move(findings);
+  return report;
+}
+
+void write_whatif_json(const WhatIfReport& report, std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("base");
+  w.raw(outcome_to_json(report.base).substr(0, outcome_to_json(report.base).size() - 1));
+  w.key("candidates").begin_array();
+  for (const WhatIfFinding& f : report.findings) {
+    w.begin_object();
+    w.key("branch").value(f.branch.label);
+    w.key("motivation").value(f.motivation);
+    w.key("p95_jct_saving_s").raw(json_number(f.p95_jct_saving, 12));
+    w.key("makespan_saving_s").raw(json_number(f.makespan_saving, 12));
+    w.key("outcome");
+    std::string rendered = outcome_to_json(f.outcome);
+    while (!rendered.empty() && rendered.back() == '\n') rendered.pop_back();
+    w.raw(rendered);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace rupam

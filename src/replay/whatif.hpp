@@ -1,0 +1,88 @@
+// What-if advisor: from a post-run diagnosis (obs/analyzer, --analyze),
+// pick the top straggler causes, generate counterfactual branches that
+// would have removed them, replay each branch (sweep-style worker pool —
+// every branch is one independent cell), and rank the interventions by
+// how many seconds of p95 JCT they would have saved:
+//
+//   slow_node_class → redirect the blamed dispatch to the fastest node,
+//                     and swap the scheduler to RUPAM (heterogeneity-
+//                     aware placement is the paper's fix for exactly
+//                     this cause)
+//   node_fault      → suppress:kind=crash        (what if it hadn't died?)
+//   spot_drain      → suppress:kind=spot
+//   gpu_contention / gc_pressure / shuffle_skew / pool_preemption /
+//   blacklist_rebound / unknown → scheduler=rupam
+//   always          → scheduler=heft as the list-scheduling yardstick
+//
+// Deterministic: candidate order, seeds and aggregation are fixed by the
+// diagnosis content, so the same (diagnosis, RunSpec) always produces the
+// same ranked report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "replay/branch.hpp"
+
+namespace rupam {
+
+/// One straggler row of a diagnosis document (the replay-relevant
+/// projection of obs::StragglerReport, parsed back from its JSON form).
+struct DiagnosedStraggler {
+  StageId stage = -1;
+  TaskId task = -1;
+  AttemptId attempt = 0;
+  NodeId node = kInvalidNode;
+  double duration = 0.0;
+  double stage_median = 0.0;
+  std::string cause;  // machine token, e.g. "slow_node_class"
+  std::string detail;
+};
+
+/// Parse the "stragglers" array out of a --analyze JSON document; throws
+/// std::runtime_error on malformed input.
+std::vector<DiagnosedStraggler> parse_diagnosis_stragglers(const std::string& text);
+
+struct WhatIfConfig {
+  /// Replay at most this many counterfactual branches (deduped by label).
+  std::size_t max_candidates = 6;
+  /// Worker threads for branch replays; 0 = hardware concurrency.
+  int threads = 0;
+  double analyze_k = 1.5;
+};
+
+/// One candidate intervention: the branch, why it was generated, and what
+/// it would have changed.
+struct WhatIfFinding {
+  BranchSpec branch;
+  std::string motivation;  // cause token + blamed decision
+  RunOutcome outcome;
+  double p95_jct_saving = 0.0;  // base p95 - branch p95 (positive = faster)
+  double makespan_saving = 0.0;
+};
+
+struct WhatIfReport {
+  RunOutcome base;
+  /// Ranked best-first by p95 JCT saving (ties: makespan saving, label).
+  std::vector<WhatIfFinding> findings;
+};
+
+/// Candidate generation only (exposed for tests): stragglers → deduped,
+/// capped branch list with motivations, ordered by the causes' total
+/// excess time. `spec` supplies the base scheduler and fleet (the
+/// slow-node target is the fleet's best cpu_perf node).
+std::vector<std::pair<BranchSpec, std::string>> propose_branches(
+    const RunSpec& spec, const std::vector<DiagnosedStraggler>& stragglers,
+    std::size_t max_candidates);
+
+/// Full advisor: base run + every proposed branch on a worker pool.
+WhatIfReport advise_whatif(const RunSpec& spec, const std::vector<DiagnosedStraggler>& stragglers,
+                           const WhatIfConfig& config = {});
+
+/// {"base": {...}, "candidates": [{"branch", "kind", "motivation",
+/// "p95_jct_saving_s", "makespan_saving_s", "outcome": {...}}, ...]}
+/// ranked best-first.
+void write_whatif_json(const WhatIfReport& report, std::ostream& os);
+
+}  // namespace rupam

@@ -4,6 +4,7 @@
 
 #include "sched/baselines/capability_scheduler.hpp"
 #include "sched/baselines/fifo_scheduler.hpp"
+#include "sched/baselines/heft_scheduler.hpp"
 
 namespace rupam {
 
@@ -13,6 +14,7 @@ std::string_view to_string(SchedulerKind kind) {
     case SchedulerKind::kRupam: return "RUPAM";
     case SchedulerKind::kStageAware: return "StageAware";
     case SchedulerKind::kFifo: return "FIFO";
+    case SchedulerKind::kHeft: return "HEFT";
   }
   return "?";
 }
@@ -22,6 +24,7 @@ std::optional<SchedulerKind> scheduler_kind_from_name(const std::string& name) {
   if (name == "rupam") return SchedulerKind::kRupam;
   if (name == "stageaware") return SchedulerKind::kStageAware;
   if (name == "fifo") return SchedulerKind::kFifo;
+  if (name == "heft") return SchedulerKind::kHeft;
   return std::nullopt;
 }
 
@@ -34,6 +37,8 @@ std::unique_ptr<SchedulerBase> make_scheduler(SchedulerKind kind, SchedulerEnv e
       return std::make_unique<CapabilityScheduler>(std::move(env));
     case SchedulerKind::kFifo:
       return std::make_unique<FifoScheduler>(std::move(env));
+    case SchedulerKind::kHeft:
+      return std::make_unique<HeftScheduler>(std::move(env));
     case SchedulerKind::kSpark:
       return std::make_unique<SparkScheduler>(std::move(env), config.spark);
   }
@@ -45,7 +50,7 @@ std::unique_ptr<SchedulerBase> make_scheduler(const std::string& name, Scheduler
   std::optional<SchedulerKind> kind = scheduler_kind_from_name(name);
   if (!kind) {
     throw std::invalid_argument("make_scheduler: unknown scheduler '" + name +
-                                "' (expected spark|rupam|stageaware|fifo)");
+                                "' (expected spark|rupam|stageaware|fifo|heft)");
   }
   return make_scheduler(*kind, std::move(env), config);
 }

@@ -20,12 +20,13 @@ enum class SchedulerKind {
   kRupam,       // the paper's contribution
   kStageAware,  // prior-work proxy: heterogeneity-aware, stage-granular
   kFifo,        // oblivious lower bound
+  kHeft,        // classic workflow baseline: upward-rank list scheduling
 };
 
 std::string_view to_string(SchedulerKind kind);
 
-/// Map a CLI name (spark|rupam|stageaware|fifo) to its kind; nullopt for
-/// unknown names.
+/// Map a CLI name (spark|rupam|stageaware|fifo|heft) to its kind; nullopt
+/// for unknown names.
 std::optional<SchedulerKind> scheduler_kind_from_name(const std::string& name);
 
 /// Per-scheduler tuning knobs. Schedulers only read their own section, so

@@ -208,35 +208,6 @@ void SchedulerBase::attach(const Observers& observers) {
   bind_metrics(observers.metrics);
 }
 
-// Deprecated forwarders: update one field of the attached set. Defined
-// out of line so the [[deprecated]] declarations don't warn here.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-void SchedulerBase::set_trace(EventTrace* trace) {
-  Observers o = observers_;
-  o.trace = trace;
-  attach(o);
-}
-
-void SchedulerBase::set_metrics(MetricsRegistry* metrics) {
-  Observers o = observers_;
-  o.metrics = metrics;
-  attach(o);
-}
-
-void SchedulerBase::set_audit(DecisionAudit* audit) {
-  Observers o = observers_;
-  o.audit = audit;
-  attach(o);
-}
-
-void SchedulerBase::set_profiler(OverheadProfiler* profiler) {
-  Observers o = observers_;
-  o.profiler = profiler;
-  attach(o);
-}
-#pragma GCC diagnostic pop
-
 void SchedulerBase::bind_metrics(MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     launch_counters_ = {};
@@ -471,10 +442,19 @@ bool SchedulerBase::launch_task(StageState& stage, TaskState& task, NodeId node,
   bool explained = has_explain_;
   has_explain_ = false;
   pending_explain_ = Explain{};
+  StageId stage_id = stage.set.stage;
+  // Replay seam: a branch override may redirect this one launch. The
+  // interceptor sees the prospective attempt id (next_attempt is only
+  // consumed further down, once the launch is committed to an executor).
+  if (interceptor_) {
+    if (std::optional<NodeId> forced =
+            interceptor_(stage_id, task.spec.id, task.next_attempt, node)) {
+      node = *forced;
+    }
+  }
   if (!node_usable(node)) return false;
   Executor* exec = executor(node);
   if (exec == nullptr || !exec->alive()) return false;
-  StageId stage_id = stage.set.stage;
   std::size_t task_index = static_cast<std::size_t>(&task - stage.tasks.data());
 
   LaunchOptions opts;

@@ -12,12 +12,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "cluster/liveness.hpp"
+#include "dag/job.hpp"
 #include "exec/executor.hpp"
 #include "metrics/event_trace.hpp"
 #include "obs/audit.hpp"
@@ -47,8 +49,8 @@ struct SpeculationConfig {
 
 /// Every observation sink a scheduler can feed, in one struct. None are
 /// owned; a null field means "detached". Build one Observers and pass it
-/// to SchedulerBase::attach instead of calling the legacy per-sink
-/// setters (which survive as deprecated forwarders for one release).
+/// to SchedulerBase::attach — the one way sinks are wired (the old
+/// per-sink setters are gone).
 struct Observers {
   /// Structured scheduling-event trace.
   EventTrace* trace = nullptr;
@@ -127,14 +129,25 @@ class SchedulerBase {
     on_task_launch_ = std::move(fn);
   }
   /// Attach (or detach, with null fields) every observation sink at once.
+  /// This is the only sink-wiring entry point — the per-sink forwarders
+  /// that once shadowed it are gone.
   void attach(const Observers& observers);
   const Observers& observers() const { return observers_; }
 
-  /// Deprecated single-sink forwarders — use attach(Observers) instead.
-  [[deprecated("use attach(Observers)")]] void set_trace(EventTrace* trace);
-  [[deprecated("use attach(Observers)")]] void set_metrics(MetricsRegistry* metrics);
-  [[deprecated("use attach(Observers)")]] void set_audit(DecisionAudit* audit);
-  [[deprecated("use attach(Observers)")]] void set_profiler(OverheadProfiler* profiler);
+  /// Replay seam (counterfactual branching, src/replay/): consulted once
+  /// per launch_task call with the scheduler's chosen placement and the
+  /// prospective attempt id; returning a node replaces the choice for
+  /// that one launch. Unset by default — the null check is the only cost,
+  /// so recorded traces stay byte-identical.
+  using DispatchInterceptor =
+      std::function<std::optional<NodeId>(StageId stage, TaskId task, AttemptId attempt,
+                                          NodeId chosen)>;
+  void set_dispatch_interceptor(DispatchInterceptor fn) { interceptor_ = std::move(fn); }
+
+  /// Whole-DAG visibility hook: Simulation announces each application
+  /// before its first stage is submitted. The base class ignores it;
+  /// rank-based schedulers (HEFT) precompute per-stage priorities here.
+  virtual void register_dag(const Application& app) { (void)app; }
 
   /// Task attempts launched (primary + speculative), all time.
   std::size_t launches() const { return launches_; }
@@ -410,6 +423,8 @@ class SchedulerBase {
 
   PartitionSuccessFn on_partition_success_;
   std::function<void(JobId, SimTime)> on_task_launch_;
+  /// Replay override consulted in launch_task (null in normal runs).
+  DispatchInterceptor interceptor_;
   /// Attached sinks; trace_/audit_/profiler_ mirror observers_ for the
   /// hot paths (metrics are consumed via the bound series pointers).
   Observers observers_;
@@ -420,7 +435,7 @@ class SchedulerBase {
   bool has_explain_ = false;
   std::size_t launches_ = 0;
   std::size_t dispatch_rounds_ = 0;
-  // Series bound once in set_metrics; null while metrics are off.
+  // Series bound once in bind_metrics (via attach); null while metrics are off.
   std::array<Counter*, kNumLocalityLevels * 2> launch_counters_{};
   Counter* failure_counter_ = nullptr;
   Counter* dispatch_counter_ = nullptr;

@@ -71,6 +71,14 @@ class Simulator {
   /// True when no live events remain (cancelled events are removed
   /// immediately, so this is exact).
   bool empty() const { return heap_.empty(); }
+  /// Time of the next event to fire, or kForever when the queue is empty.
+  /// Between step() calls the simulation is quiescent, so this is the
+  /// replay layer's event-boundary probe: advancing while
+  /// next_event_time() <= T replays exactly the events a straight run
+  /// would have executed by T.
+  SimTime next_event_time() const {
+    return heap_.empty() ? kForever : arena_[heap_[0]].time;
+  }
   /// Live events currently queued — cancellations shrink this immediately.
   std::size_t pending_events() const { return heap_.size(); }
   /// High-watermark of pending_events() over this simulator's lifetime.

@@ -46,6 +46,7 @@ std::string_view scheduler_cli_name(SchedulerKind kind) {
     case SchedulerKind::kRupam: return "rupam";
     case SchedulerKind::kStageAware: return "stageaware";
     case SchedulerKind::kFifo: return "fifo";
+    case SchedulerKind::kHeft: return "heft";
   }
   return "?";
 }

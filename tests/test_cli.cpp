@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "app/cli.hpp"
 
@@ -40,7 +44,100 @@ TEST(Cli, SchedulerNames) {
   EXPECT_EQ(scheduler_from_name("rupam"), SchedulerKind::kRupam);
   EXPECT_EQ(scheduler_from_name("stageaware"), SchedulerKind::kStageAware);
   EXPECT_EQ(scheduler_from_name("fifo"), SchedulerKind::kFifo);
+  EXPECT_EQ(scheduler_from_name("heft"), SchedulerKind::kHeft);
   EXPECT_FALSE(scheduler_from_name("yarn").has_value());
+}
+
+TEST(Cli, ParsesReplayFlags) {
+  auto opts = parse({"--checkpoint-at", "120.5", "--checkpoint-out", "/tmp/cp.json",
+                     "--restore", "/tmp/old.json", "--branch", "scheduler=heft",
+                     "--branch-out", "/tmp/br.json", "--whatif", "/tmp/diag.json",
+                     "--whatif-out", "/tmp/wi.json", "--report-out", "/tmp/run.json"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_DOUBLE_EQ(opts->checkpoint_at, 120.5);
+  EXPECT_EQ(opts->checkpoint_out, "/tmp/cp.json");
+  EXPECT_EQ(opts->restore, "/tmp/old.json");
+  EXPECT_EQ(opts->branch, "scheduler=heft");
+  EXPECT_EQ(opts->branch_out, "/tmp/br.json");
+  EXPECT_EQ(opts->whatif, "/tmp/diag.json");
+  EXPECT_EQ(opts->whatif_out, "/tmp/wi.json");
+  EXPECT_EQ(opts->report_out, "/tmp/run.json");
+}
+
+// Usage-drift guard: every CliOptions field maps to a flag that must
+// appear in cli_usage(), and every --token the usage text mentions must be
+// a flag this table knows. Adding a CliOptions field without updating the
+// usage text (or documenting a flag that no longer exists) fails here.
+TEST(Cli, UsageTextCoversEveryFlag) {
+  // field → flag, one row per CliOptions member (shared flags repeat).
+  const std::vector<std::pair<const char*, const char*>> field_flags = {
+      {"workload", "--workload"},
+      {"workload_explicit", "--workload"},
+      {"scheduler", "--scheduler"},
+      {"fleet", "--fleet"},
+      {"iterations", "--iterations"},
+      {"repetitions", "--repetitions"},
+      {"seed", "--seed"},
+      {"sample_utilization", "--sample"},
+      {"trace_csv", "--trace-csv"},
+      {"trace_chrome", "--trace-chrome"},
+      {"trace_perfetto", "--trace-perfetto"},
+      {"metrics_out", "--metrics-out"},
+      {"explain_out", "--explain"},
+      {"analyze_out", "--analyze"},
+      {"analyze_k", "--analyze-k"},
+      {"compare_base", "--compare"},
+      {"compare_test", "--compare"},
+      {"compare_out", "--compare-out"},
+      {"compare_strict", "--compare-strict"},
+      {"faults", "--faults"},
+      {"chaos_seed", "--chaos"},
+      {"sweep", "--sweep"},
+      {"sweep_threads", "--sweep-threads"},
+      {"sweep_out", "--sweep-out"},
+      {"arrivals", "--arrivals"},
+      {"tenants", "--tenants"},
+      {"pool_policy", "--pool-policy"},
+      {"duration", "--duration"},
+      {"diurnal", "--diurnal"},
+      {"diurnal_period", "--diurnal-period"},
+      {"autoscale", "--autoscale"},
+      {"spot_plan", "--spot-plan"},
+      {"preempt", "--preempt"},
+      {"config", "--config"},
+      {"fleet_spec", "--config"},  // embedded fleets arrive via --config
+      {"checkpoint_at", "--checkpoint-at"},
+      {"checkpoint_out", "--checkpoint-out"},
+      {"restore", "--restore"},
+      {"branch", "--branch"},
+      {"branch_out", "--branch-out"},
+      {"whatif", "--whatif"},
+      {"whatif_out", "--whatif-out"},
+      {"report_out", "--report-out"},
+      {"list_workloads", "--list"},
+      {"help", "--help"},
+  };
+  const std::string usage = cli_usage();
+  std::set<std::string> known;
+  for (const auto& [field, flag] : field_flags) {
+    EXPECT_NE(usage.find(flag), std::string::npos)
+        << "CliOptions field '" << field << "': flag " << flag << " missing from cli_usage()";
+    known.insert(flag);
+  }
+  // Reverse direction: every flag token the usage text documents is one
+  // the table (and therefore CliOptions) knows about.
+  for (std::size_t pos = usage.find("--"); pos != std::string::npos;
+       pos = usage.find("--", pos + 1)) {
+    std::size_t end = pos;
+    while (end < usage.size() &&
+           (std::isalnum(static_cast<unsigned char>(usage[end])) || usage[end] == '-')) {
+      ++end;
+    }
+    std::string token = usage.substr(pos, end - pos);
+    if (token == "--") continue;  // prose dashes
+    EXPECT_TRUE(known.count(token) > 0) << "cli_usage() documents unknown flag " << token;
+    pos = end - 1;
+  }
 }
 
 TEST(Cli, RejectsBadInput) {
