@@ -54,6 +54,10 @@ void JsonReport::add(const std::string& key, const std::string& value) {
   entries_.emplace_back(key, json_quote(value));
 }
 
+void JsonReport::add_bool(const std::string& key, bool value) {
+  entries_.emplace_back(key, value ? "true" : "false");
+}
+
 KernelStats Comparison::kernel_total() const {
   KernelStats total = spark.kernel_total();
   total += rupam.kernel_total();

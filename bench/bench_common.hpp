@@ -44,6 +44,8 @@ class JsonReport {
 
   void add(const std::string& key, double value);
   void add(const std::string& key, const std::string& value);
+  /// Literal JSON booleans (true/false), not 0/1 numbers.
+  void add_bool(const std::string& key, bool value);
   /// Records <prefix>_spark_s, <prefix>_rupam_s and <prefix>_speedup, and
   /// folds both experiments' kernel counters into the report footer.
   void add_comparison(const std::string& prefix, const Comparison& c);

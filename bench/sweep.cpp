@@ -130,6 +130,10 @@ int main(int argc, char** argv) {
   json.add("runs_per_pool", static_cast<double>(spec.total_runs()));
   json.add("pool_sizes", static_cast<double>(results.size()));
   json.add("hardware_concurrency", static_cast<double>(hw));
+  // Flag runs on core-starved machines (CI shared runners): scaling
+  // verdicts from such runs are not comparable against baselines captured
+  // on full machines, and the comparator skips them when this is set.
+  if (hw < 4) json.add_bool("core_starved", true);
   json.add("min_efficiency_at_4", kMinEfficiencyAt4);
   json.add("efficiency_at_4", efficiency_at_4);
 

@@ -48,6 +48,8 @@ std::string cli_usage() {
          "                         then exit (no simulation)\n"
          "  --compare-out PATH     write the comparison JSON here\n"
          "  --compare-strict       exit 1 when --compare finds any regression\n"
+         "  --compare-tolerance F  relative significance floor for --compare (default\n"
+         "                         0.02; CI wall-clock gates want a looser one)\n"
          "  --faults SPEC          inject faults, e.g. 'crash@60:node=3:down=40;\n"
          "                         slow@30:node=0:res=cpu:factor=0.3:for=60'\n"
          "  --chaos SEED           inject a seeded random fault plan\n"
@@ -255,6 +257,13 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args, std::o
       opts.compare_out = args[++i];
     } else if (a == "--compare-strict") {
       opts.compare_strict = true;
+    } else if (a == "--compare-tolerance") {
+      if (!need_value(i)) return std::nullopt;
+      opts.compare_tolerance = std::atof(args[++i].c_str());
+      if (opts.compare_tolerance < 0.0) {
+        err << "--compare-tolerance takes a non-negative fraction\n";
+        return std::nullopt;
+      }
     } else if (a == "--faults") {
       if (!need_value(i)) return std::nullopt;
       opts.faults = args[++i];
@@ -570,8 +579,10 @@ int run_compare_cli(const CliOptions& options, std::ostream& out, std::ostream& 
   std::string base, test;
   if (!slurp(options.compare_base, base) || !slurp(options.compare_test, test)) return 2;
   ComparisonReport report;
+  ComparisonConfig config;
+  if (options.compare_tolerance >= 0.0) config.rel_tolerance = options.compare_tolerance;
   try {
-    report = compare_json_text(base, test);
+    report = compare_json_text(base, test, config);
   } catch (const std::exception& e) {
     err << e.what() << "\n";
     return 2;

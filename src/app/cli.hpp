@@ -40,6 +40,9 @@ struct CliOptions {
   std::string compare_test;
   std::string compare_out;      // comparison JSON path; empty = table only
   bool compare_strict = false;  // exit 1 when any metric regressed
+  /// Relative significance floor for --compare (ComparisonConfig default
+  /// when unset). Wall-clock benches on shared runners want a loose one.
+  double compare_tolerance = -1.0;  // < 0: use the comparator default
   std::string faults;        // fault spec (see faults/fault_plan.hpp)
   std::uint64_t chaos_seed = 0;  // non-zero: add a seeded chaos plan
   /// Sweep mode: path to a JSON SweepSpec (see sweep/sweep_spec.hpp);
@@ -99,6 +102,7 @@ struct CliOptions {
 ///   --metrics-out PATH --explain PATH --analyze PATH --analyze-k K
 ///   --report-out PATH
 ///   --compare BASE TEST --compare-out PATH --compare-strict
+///   --compare-tolerance F
 ///   --faults SPEC --chaos SEED
 ///   --arrivals RATE --tenants N --pool-policy fifo|fair --duration T
 ///   --diurnal AMP --diurnal-period T

@@ -1,0 +1,19 @@
+#include "common/symbol.hpp"
+
+namespace rupam {
+
+std::uint32_t SymbolTable::intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  auto id = static_cast<std::uint32_t>(names_.size());
+  auto [inserted, ok] = ids_.emplace(std::string(name), id);
+  names_.push_back(&inserted->first);
+  return id;
+}
+
+std::uint32_t SymbolTable::find(std::string_view name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+}  // namespace rupam

@@ -1,0 +1,96 @@
+// Interned symbol table: the backbone of the allocation-free dispatch
+// path. Hot scheduler structures (per-pool fair-share state, the task-
+// characteristics DB) key on small dense integer ids instead of strings;
+// the owning table translates back to the human-readable name only at
+// observation boundaries (trace/audit export, log lines).
+//
+// Ids are dense and never recycled: the first distinct name interned gets
+// 0, the next 1, and so on, so `std::vector` indexed by id is the natural
+// per-symbol store. Tables are per-instance, never global — concurrent
+// simulations (the sweep worker pool) each own their scheduler and its
+// tables, so a process-wide registry would be a data race and a
+// cross-run determinism leak.
+//
+// Costs: intern is amortized O(1) (one hash probe; one string copy on
+// first sighting only), id→name is O(1) with no allocation, and find()
+// never allocates (heterogeneous string_view lookup).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rupam {
+
+inline constexpr std::uint32_t kInvalidSymbol = 0xffffffffu;
+
+/// Typed wrapper so a PoolId cannot be passed where a StageNameId is
+/// expected. Default-constructed ids are invalid (resolve to "" at export
+/// boundaries).
+template <class Tag>
+struct SymbolId {
+  std::uint32_t value = kInvalidSymbol;
+
+  constexpr SymbolId() = default;
+  constexpr explicit SymbolId(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalidSymbol; }
+  /// Dense vector index; only meaningful when valid().
+  constexpr std::size_t index() const { return value; }
+
+  friend constexpr bool operator==(SymbolId a, SymbolId b) { return a.value == b.value; }
+  friend constexpr bool operator!=(SymbolId a, SymbolId b) { return a.value != b.value; }
+  friend constexpr bool operator<(SymbolId a, SymbolId b) { return a.value < b.value; }
+};
+
+struct PoolNameTag;
+struct StageNameTag;
+/// Scheduling-pool name (sched/pool.hpp); 0 is always kDefaultPool.
+using PoolId = SymbolId<PoolNameTag>;
+/// Stage name as used by DB_task_char's (stage name, partition) key.
+using StageNameId = SymbolId<StageNameTag>;
+
+class SymbolTable {
+ public:
+  /// Id of `name`, interning it on first sighting.
+  std::uint32_t intern(std::string_view name);
+  /// Id of `name` without interning; kInvalidSymbol when never seen.
+  std::uint32_t find(std::string_view name) const;
+  /// O(1) reverse lookup. `id` must be a value this table returned.
+  const std::string& name(std::uint32_t id) const { return *names_[id]; }
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+  };
+
+  std::unordered_map<std::string, std::uint32_t, Hash, Eq> ids_;
+  /// id → key in ids_ (node-based map: element addresses survive rehash).
+  std::vector<const std::string*> names_;
+};
+
+/// SymbolTable whose ids carry the tag of one symbol family.
+template <class Tag>
+class TypedSymbolTable {
+ public:
+  SymbolId<Tag> intern(std::string_view name) { return SymbolId<Tag>(table_.intern(name)); }
+  SymbolId<Tag> find(std::string_view name) const { return SymbolId<Tag>(table_.find(name)); }
+  const std::string& name(SymbolId<Tag> id) const { return table_.name(id.value); }
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  SymbolTable table_;
+};
+
+}  // namespace rupam

@@ -17,6 +17,18 @@ std::string join_nodes(const std::vector<NodeId>& nodes) {
 
 }  // namespace
 
+void DecisionAudit::note_pool(PoolId id, std::string_view name) {
+  if (!id.valid()) return;
+  if (pool_names_.size() <= id.index()) pool_names_.resize(id.index() + 1);
+  pool_names_[id.index()] = name;
+}
+
+const std::string& DecisionAudit::pool_name(PoolId id) const {
+  static const std::string kUnknown;
+  if (!id.valid() || id.index() >= pool_names_.size()) return kUnknown;
+  return pool_names_[id.index()];
+}
+
 void DecisionAudit::write_csv(std::ostream& os) const {
   CsvWriter csv(os);
   csv.write_row({"time", "scheduler", "stage", "task", "attempt", "node", "locality", "pool",
@@ -25,7 +37,8 @@ void DecisionAudit::write_csv(std::ostream& os) const {
   for (const auto& d : decisions_) {
     csv.write_row({format_fixed(d.time, 6), d.scheduler, std::to_string(d.stage),
                    std::to_string(d.task), std::to_string(d.attempt), std::to_string(d.node),
-                   std::string(to_string(d.locality)), d.pool, d.speculative ? "1" : "0",
+                   std::string(to_string(d.locality)), pool_name(d.pool),
+                   d.speculative ? "1" : "0",
                    std::string(to_string(d.queue)), d.reason,
                    std::to_string(d.candidates_considered), join_nodes(d.candidate_nodes),
                    d.detail});
@@ -44,7 +57,7 @@ void DecisionAudit::write_json(std::ostream& os) const {
     w.key("attempt").value(d.attempt);
     w.key("node").value(d.node);
     w.key("locality").value(to_string(d.locality));
-    w.key("pool").value(d.pool);
+    w.key("pool").value(pool_name(d.pool));
     w.key("speculative").value(d.speculative);
     w.key("queue").value(to_string(d.queue));
     w.key("reason").value(d.reason);

@@ -9,8 +9,10 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/symbol.hpp"
 #include "common/types.hpp"
 
 namespace rupam {
@@ -26,7 +28,9 @@ struct DispatchDecision {
   AttemptId attempt = 0;
   NodeId node = kInvalidNode;
   Locality locality = Locality::kAny;
-  std::string pool;
+  /// Interned pool id; resolved to the pool name at export time via the
+  /// DecisionAudit's name table (see note_pool). Invalid prints as "".
+  PoolId pool;
   bool speculative = false;
   /// Resource queue the attempt was served from (RUPAM; others kCpu).
   ResourceKind queue = ResourceKind::kCpu;
@@ -45,6 +49,14 @@ class DecisionAudit {
   const std::vector<DispatchDecision>& decisions() const { return decisions_; }
   std::size_t size() const { return decisions_.size(); }
 
+  /// Registers the name behind a PoolId so exports can resolve the pool
+  /// column. SchedulerBase calls this from attach() (backfilling every
+  /// pool interned so far) and again on each later intern — recording a
+  /// decision itself never touches strings.
+  void note_pool(PoolId id, std::string_view name);
+  /// Name behind `id`; "" when invalid or never registered.
+  const std::string& pool_name(PoolId id) const;
+
   /// RFC 4180 CSV with a header row; candidate_nodes joins with ';'.
   void write_csv(std::ostream& os) const;
   /// JSON array of record objects.
@@ -52,6 +64,8 @@ class DecisionAudit {
 
  private:
   std::vector<DispatchDecision> decisions_;
+  /// Dense PoolId → name, filled via note_pool.
+  std::vector<std::string> pool_names_;
 };
 
 }  // namespace rupam

@@ -33,6 +33,25 @@ struct SectionStats {
   double mean_ns() const { return count == 0 ? 0.0 : static_cast<double>(total_ns) / count; }
 };
 
+/// Heap-allocation accounting for try_dispatch rounds, split by outcome.
+/// Scan rounds (no task launched) are the steady state the zero-allocation
+/// gate covers; launch rounds legitimately allocate (the attempt's
+/// TaskExecution and completion callbacks outlive the round).
+struct AllocStats {
+  std::uint64_t scan_rounds = 0;
+  std::uint64_t scan_allocs = 0;
+  std::uint64_t launch_rounds = 0;
+  std::uint64_t launch_allocs = 0;
+
+  std::uint64_t rounds() const { return scan_rounds + launch_rounds; }
+  double scan_allocs_per_round() const {
+    return scan_rounds == 0 ? 0.0 : static_cast<double>(scan_allocs) / scan_rounds;
+  }
+  double launch_allocs_per_round() const {
+    return launch_rounds == 0 ? 0.0 : static_cast<double>(launch_allocs) / launch_rounds;
+  }
+};
+
 class OverheadProfiler {
  public:
   /// RAII timing scope. Null profiler → no clock reads.
@@ -69,10 +88,46 @@ class OverheadProfiler {
     return sections_[static_cast<std::size_t>(section)];
   }
 
-  void reset() { sections_ = {}; }
+  /// Process-wide allocation counter hook (bench-provided: a replaced
+  /// operator new bumping a counter). Unset in normal runs — the dispatch
+  /// path then skips allocation accounting entirely.
+  using AllocCounterFn = std::uint64_t (*)();
+  void set_alloc_counter(AllocCounterFn fn) { alloc_counter_ = fn; }
+  bool counting_allocs() const { return alloc_counter_ != nullptr; }
+  std::uint64_t read_allocs() const { return alloc_counter_(); }
+
+  /// Rounds to exclude from allocation accounting before stats accumulate.
+  /// Scratch buffers grow to their high-water capacity over a run's early
+  /// rounds; the zero-allocation gate covers the steady state after them.
+  void set_alloc_warmup(std::uint64_t rounds) { alloc_warmup_remaining_ = rounds; }
+
+  /// One try_dispatch round's allocation delta, classified by whether the
+  /// round launched anything.
+  void note_dispatch_allocs(bool launched, std::uint64_t allocs) {
+    if (alloc_warmup_remaining_ > 0) {
+      --alloc_warmup_remaining_;
+      return;
+    }
+    if (launched) {
+      allocs_.launch_rounds += 1;
+      allocs_.launch_allocs += allocs;
+    } else {
+      allocs_.scan_rounds += 1;
+      allocs_.scan_allocs += allocs;
+    }
+  }
+  const AllocStats& alloc_stats() const { return allocs_; }
+
+  void reset() {
+    sections_ = {};
+    allocs_ = {};
+  }
 
  private:
   std::array<SectionStats, kNumProfileSections> sections_{};
+  AllocStats allocs_{};
+  AllocCounterFn alloc_counter_ = nullptr;
+  std::uint64_t alloc_warmup_remaining_ = 0;
 };
 
 }  // namespace rupam

@@ -57,18 +57,18 @@ std::vector<NodeId> CapabilityScheduler::ranked_nodes(ResourceKind kind) const {
   return out;
 }
 
-std::vector<NodeId> CapabilityScheduler::ranked_free_nodes(ResourceKind kind) {
-  std::vector<std::pair<double, NodeId>> scored;
+const std::vector<NodeId>& CapabilityScheduler::ranked_free_nodes(ResourceKind kind) {
+  scored_scratch_.clear();
   for_each_ready_node(0, [&](NodeId id, Executor& exec) {
     NodeMetrics m = cluster().node(id).metrics();
-    scored.push_back(
+    scored_scratch_.push_back(
         {-m.capability(kind) * 1000.0 + static_cast<double>(exec.running_tasks()), id});
     return true;
   });
-  std::sort(scored.begin(), scored.end());
-  std::vector<NodeId> out(scored.size());
-  for (std::size_t i = 0; i < scored.size(); ++i) out[i] = scored[i].second;
-  return out;
+  std::sort(scored_scratch_.begin(), scored_scratch_.end());
+  ranked_scratch_.clear();
+  for (const auto& [score, id] : scored_scratch_) ranked_scratch_.push_back(id);
+  return ranked_scratch_;
 }
 
 void CapabilityScheduler::try_dispatch() {
@@ -87,8 +87,9 @@ void CapabilityScheduler::try_dispatch() {
       // The audit exposes the rank index and full candidate list, so only
       // rank every node while an audit sink is attached; the fast path
       // ranks just the maybe-free set (same comparator, same winner).
-      std::vector<NodeId> ranked =
-          audit_enabled() ? ranked_nodes(kind) : ranked_free_nodes(kind);
+      std::vector<NodeId> audited;  // empty unless an audit sink is attached
+      if (audit_enabled()) audited = ranked_nodes(kind);
+      const std::vector<NodeId>& ranked = audit_enabled() ? audited : ranked_free_nodes(kind);
       for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
         NodeId node = ranked[rank];
         Executor* exec = executor(node);

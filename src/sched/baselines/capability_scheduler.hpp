@@ -52,11 +52,15 @@ class CapabilityScheduler : public SchedulerBase {
   std::vector<NodeId> ranked_nodes(ResourceKind kind) const;
   /// Same ranking restricted to nodes with a free slot (the maybe-free
   /// set) — the dispatch fast path. The comparator is identical, so the
-  /// first admissible node matches the full ranking's.
-  std::vector<NodeId> ranked_free_nodes(ResourceKind kind);
+  /// first admissible node matches the full ranking's. Returns a reference
+  /// into reused scratch, valid until the next call.
+  const std::vector<NodeId>& ranked_free_nodes(ResourceKind kind);
 
   Config config_;
   std::map<std::string, StageProfileEstimate> profiles_;
+  // Dispatch-path scratch: capacity persists across rounds.
+  std::vector<std::pair<double, NodeId>> scored_scratch_;
+  std::vector<NodeId> ranked_scratch_;
 };
 
 }  // namespace rupam

@@ -8,7 +8,7 @@ void FifoScheduler::try_dispatch() {
   bool progressed = true;
   while (progressed) {
     progressed = false;
-    std::vector<StageState*> ordered = schedulable_stages();
+    const std::vector<StageState*>& ordered = schedulable_stages();
     NodeId start = static_cast<NodeId>(rotation_ % n);
     for_each_ready_node(start, [&](NodeId node, Executor&) {
       for (StageState* sp : ordered) {

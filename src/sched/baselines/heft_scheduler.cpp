@@ -94,14 +94,20 @@ void HeftScheduler::try_dispatch() {
   while (progressed) {
     progressed = false;
     // Pool policy picks which jobs are offered resources; within that
-    // offer, HEFT's upward rank decides the stage order (stable sort so
-    // equal-rank stages keep the policy's order).
-    std::vector<StageState*> order = schedulable_stages();
-    std::stable_sort(order.begin(), order.end(), [this](StageState* a, StageState* b) {
-      return upward_rank(a->set.stage) > upward_rank(b->set.stage);
-    });
-    for (StageState* sp : order) {
-      StageState& stage = *sp;
+    // offer, HEFT's upward rank decides the stage order (equal-rank stages
+    // keep the policy's order via the explicit position tie-break).
+    const std::vector<StageState*>& ordered = schedulable_stages();
+    order_scratch_.clear();
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      order_scratch_.push_back(RankedStage{upward_rank(ordered[i]->set.stage), i, ordered[i]});
+    }
+    std::sort(order_scratch_.begin(), order_scratch_.end(),
+              [](const RankedStage& a, const RankedStage& b) {
+                if (a.rank != b.rank) return a.rank > b.rank;
+                return a.pos < b.pos;
+              });
+    for (const RankedStage& rs : order_scratch_) {
+      StageState& stage = *rs.stage;
       TaskState* next = next_launchable(stage);
       if (next == nullptr) continue;
       NodeId node = best_free_node(next->spec);

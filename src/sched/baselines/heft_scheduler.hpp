@@ -61,6 +61,15 @@ class HeftScheduler : public SchedulerBase {
   NodeId best_free_node(const TaskSpec& task);
 
   std::map<StageId, double> rank_;
+  /// Rank-order scratch: rank is resolved once per stage per round, and
+  /// sorting (rank desc, policy position asc) with plain std::sort matches
+  /// stable_sort's output without its temporary-buffer allocation.
+  struct RankedStage {
+    double rank = 0.0;
+    std::size_t pos = 0;
+    StageState* stage = nullptr;
+  };
+  std::vector<RankedStage> order_scratch_;
 };
 
 }  // namespace rupam

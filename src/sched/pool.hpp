@@ -10,9 +10,12 @@
 // and tie-breaks without a cluster.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "common/symbol.hpp"
 
 namespace rupam {
 
@@ -55,6 +58,22 @@ bool fair_less(const PoolSnapshot& a, const PoolSnapshot& b);
 
 /// Pool names in fair-schedule order (most-starved first).
 std::vector<std::string> fair_order(std::vector<PoolSnapshot> pools);
+
+/// Allocation-free counterpart of PoolSnapshot for the hot dispatch path:
+/// the pool is an interned PoolId, and the name tie-break is carried as a
+/// precomputed lexicographic rank (see SchedulerBase::pool_lex_rank_) so
+/// comparing two snapshots never touches the strings.
+struct PoolIdSnapshot {
+  PoolId id;
+  std::uint32_t lex_rank = 0;  // rank of the pool name in lexicographic order
+  int running = 0;
+  double weight = 1.0;
+  int min_share = 0;
+};
+
+/// fair_less over interned snapshots. Identical ordering to the string
+/// overload as long as lex_rank reflects lexicographic name order.
+bool fair_less(const PoolIdSnapshot& a, const PoolIdSnapshot& b);
 
 /// Name under which a taskset with no explicit pool is scheduled.
 inline constexpr const char* kDefaultPool = "default";

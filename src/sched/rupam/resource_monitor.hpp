@@ -13,6 +13,7 @@
 // the base scheduler's blacklist).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -55,6 +56,29 @@ class ResourceMonitor {
   /// first.
   std::vector<NodeId> ranked(ResourceKind kind,
                              const std::function<bool(const NodeMetrics&)>& admit) const;
+
+  /// Dispatch-path variant of ranked(): identical ordering, but fills
+  /// caller-owned scratch instead of returning a fresh vector, and takes
+  /// the admission predicate as a template parameter so large captures
+  /// never round-trip through std::function's heap fallback.
+  template <class Admit>
+  void ranked_into(ResourceKind kind, Admit&& admit, std::vector<const NodeMetrics*>& rows,
+                   std::vector<NodeId>& out) const {
+    rows.clear();
+    for (const auto& [id, m] : latest_) {
+      if (dead(id)) continue;
+      if (admit(m)) rows.push_back(&m);
+    }
+    std::sort(rows.begin(), rows.end(), [kind](const NodeMetrics* a, const NodeMetrics* b) {
+      double ca = a->capability(kind), cb = b->capability(kind);
+      if (ca != cb) return ca > cb;
+      double ua = a->utilization(kind), ub = b->utilization(kind);
+      if (ua != ub) return ua < ub;
+      return a->node < b->node;  // deterministic tie-break
+    });
+    out.clear();
+    for (const NodeMetrics* row : rows) out.push_back(row->node);
+  }
 
  private:
   std::unordered_map<NodeId, NodeMetrics> latest_;

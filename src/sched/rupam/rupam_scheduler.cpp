@@ -87,7 +87,11 @@ void RupamScheduler::seed_monitor() {
   // The heartbeat stream is the architectural source of RM data; a
   // dispatch round additionally refreshes the snapshot so admission checks
   // (memory guard, over-commit limits) never race a 1-second-stale view.
-  for (NodeId id : cluster().node_ids()) {
+  // Ids are dense 0..size()-1, so an index walk replaces node_ids()'s
+  // freshly-built vector on this per-round path.
+  std::size_t n = cluster().size();
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeId id = static_cast<NodeId>(i);
     if (!cluster().member(id)) continue;  // decommissioned: no RM row
     rm_.record(cluster().node(id).metrics());
   }
@@ -140,8 +144,9 @@ bool RupamScheduler::any_idle_gpu() const {
   return false;
 }
 
-std::vector<RupamScheduler::Row> RupamScheduler::collect_rows(ResourceKind kind) {
-  std::vector<Row> rows;
+const std::vector<RupamScheduler::Row>& RupamScheduler::collect_rows(ResourceKind kind) {
+  std::vector<Row>& rows = rows_scratch_;
+  rows.clear();
   auto resolve = [this](const TaskManager::PendingRef& ref, StageState** stage_out,
                         TaskState** task_out) {
     auto it = stages_.find(ref.stage);
@@ -159,16 +164,16 @@ std::vector<RupamScheduler::Row> RupamScheduler::collect_rows(ResourceKind kind)
     TaskState* task = nullptr;
     if (!resolve(ref, &stage, &task)) return;
     note_task_checks(1);
+    // The ref carries the interned stage name, so the DB lookup hashes one
+    // 64-bit key instead of the stage-name string.
     if (launchable(*task)) {
-      rows.push_back(
-          Row{stage, task, false, db_.lookup(task->spec.stage_name, task->spec.partition)});
+      rows.push_back(Row{stage, task, false, db_.lookup(ref.name, task->spec.partition)});
       return;
     }
     if (kind == ResourceKind::kGpu && config_.gpu_cpu_race && !task->live.empty() &&
         !task->has_gpu_attempt()) {
       // Task is racing on a CPU; a device opened up — offer the GPU copy.
-      rows.push_back(
-          Row{stage, task, true, db_.lookup(task->spec.stage_name, task->spec.partition)});
+      rows.push_back(Row{stage, task, true, db_.lookup(ref.name, task->spec.partition)});
     }
   };
   const TaskManager::Queue& active = tm_.active(kind);
@@ -197,8 +202,7 @@ std::vector<RupamScheduler::Row> RupamScheduler::collect_rows(ResourceKind kind)
       if (!resolve(ref, &stage, &task)) continue;
       note_task_checks(1);
       if (!launchable(*task)) continue;
-      rows.push_back(
-          Row{stage, task, false, db_.lookup(task->spec.stage_name, task->spec.partition)});
+      rows.push_back(Row{stage, task, false, db_.lookup(ref.name, task->spec.partition)});
     }
   }
   return rows;
@@ -207,8 +211,8 @@ std::vector<RupamScheduler::Row> RupamScheduler::collect_rows(ResourceKind kind)
 RupamScheduler::Pick RupamScheduler::pick_from_rows(const std::vector<Row>& rows, NodeId node) {
   Bytes free_mem = cluster().node(node).free_memory();
   bool node_has_idle_gpu = cluster().node(node).gpus().idle() > 0;
-  std::vector<DispatchTaskView> views;
-  views.reserve(rows.size());
+  std::vector<DispatchTaskView>& views = views_scratch_;
+  views.clear();
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const TaskSpec& spec = rows[i].task->spec;
     DispatchTaskView v;
@@ -229,19 +233,23 @@ RupamScheduler::Pick RupamScheduler::pick_from_rows(const std::vector<Row>& rows
   DispatcherPolicy policy{config_.opt_executor_lock, config_.memory_guard,
                           config_.memory_guard_headroom};
   std::optional<std::size_t> chosen;
-  std::map<std::string, std::vector<DispatchTaskView>> by_pool;
   if (pools_.policy == PoolPolicy::kFair) {
+    for (std::size_t p : by_pool_used_) by_pool_[p].clear();
+    by_pool_used_.clear();
     for (std::size_t i = 0; i < rows.size(); ++i) {
-      by_pool[pool_of(*rows[i].stage)].push_back(views[i]);
+      std::size_t p = pool_of(*rows[i].stage).index();
+      if (by_pool_.size() <= p) by_pool_.resize(p + 1);  // first sight of a pool
+      if (by_pool_[p].empty()) by_pool_used_.push_back(p);
+      by_pool_[p].push_back(views[i]);
     }
   }
-  if (by_pool.size() > 1) {
+  if (by_pool_used_.size() > 1) {
     // FAIR: Algorithm 2 runs within one pool at a time, pools tried in
     // fair-share order, so the neediest pool has first claim on the node.
-    for (const std::string& pool : fair_pool_order()) {
-      auto it = by_pool.find(pool);
-      if (it == by_pool.end()) continue;
-      chosen = algorithm2_select(it->second, node, free_mem, policy);
+    for (PoolId pool : fair_pool_order()) {
+      std::size_t p = pool.index();
+      if (p >= by_pool_.size() || by_pool_[p].empty()) continue;
+      chosen = algorithm2_select(by_pool_[p], node, free_mem, policy);
       if (chosen) break;
     }
   } else {
@@ -252,9 +260,10 @@ RupamScheduler::Pick RupamScheduler::pick_from_rows(const std::vector<Row>& rows
   return Pick{row.stage, row.task, row.race};
 }
 
-std::vector<RupamScheduler::SpecCandidate> RupamScheduler::collect_speculative(
+const std::vector<RupamScheduler::SpecCandidate>& RupamScheduler::collect_speculative(
     ResourceKind kind) {
-  std::vector<SpecCandidate> out;
+  std::vector<SpecCandidate>& out = spec_scratch_;
+  out.clear();
   for (auto [stage_id, task_index] : find_speculatable()) {
     auto it = stages_.find(stage_id);
     if (it == stages_.end()) continue;
@@ -320,20 +329,21 @@ void RupamScheduler::try_dispatch() {
     // One row collection per kind-visit: no task state changes while the
     // node walk runs (a launch breaks it), so per-node re-collection would
     // repeat identical work for every ranked node.
-    std::vector<Row> rows = collect_rows(kind);
-    std::optional<std::vector<SpecCandidate>> speculative;
+    const std::vector<Row>& rows = collect_rows(kind);
+    const std::vector<SpecCandidate>* speculative = nullptr;
     auto speculatable = [&]() -> const std::vector<SpecCandidate>& {
-      if (!speculative) speculative = collect_speculative(kind);
+      if (speculative == nullptr) speculative = &collect_speculative(kind);
       return *speculative;
     };
     bool launched = false;
     if (!rows.empty() || !speculatable().empty()) {
-      std::vector<NodeId> nodes;
       {
         OverheadProfiler::Scope profile(profiler(), ProfileSection::kHeapMaintenance);
-        nodes = rm_.ranked(
-            kind, [this, kind](const NodeMetrics& m) { return node_available(m, kind); });
+        rm_.ranked_into(
+            kind, [this, kind](const NodeMetrics& m) { return node_available(m, kind); },
+            rank_rows_scratch_, ranked_scratch_);
       }
+      const std::vector<NodeId>& nodes = ranked_scratch_;
       // Walk the priority queue until a node accepts a task; launch at
       // most one task per kind-visit so no resource type is starved.
       for (std::size_t rank = 0; rank < nodes.size(); ++rank) {

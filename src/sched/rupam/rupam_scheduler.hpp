@@ -109,12 +109,13 @@ class RupamScheduler : public SchedulerBase {
   /// active refs that are launchable, plus (GPU queue under racing) parked
   /// refs whose running task a freed device may poach, plus (CPU queue
   /// when no device is idle anywhere) the GPU queue's launchable refs.
-  std::vector<Row> collect_rows(ResourceKind kind);
+  /// Returns a reference into reused scratch — valid until the next call.
+  const std::vector<Row>& collect_rows(ResourceKind kind);
   /// Algorithm 2 over the collected rows for one node.
   Pick pick_from_rows(const std::vector<Row>& rows, NodeId node);
   /// Stragglers whose bottleneck matches `kind` (straggler path of
-  /// Algorithm 2), computed once per kind-visit.
-  std::vector<SpecCandidate> collect_speculative(ResourceKind kind);
+  /// Algorithm 2), computed once per kind-visit. Reference into scratch.
+  const std::vector<SpecCandidate>& collect_speculative(ResourceKind kind);
   Pick pick_speculative(const std::vector<SpecCandidate>& candidates, NodeId node);
   /// Cheap pre-check: could any kind-visit possibly launch something?
   bool dispatch_possible() const;
@@ -131,6 +132,19 @@ class RupamScheduler : public SchedulerBase {
   std::vector<NodeId> gpu_nodes_;  // nodes that physically carry devices
   std::set<TaskId> relocating_;  // guards repeated straggler kills per wave
   std::map<NodeId, SimTime> last_relocation_;  // per-node relocation rate limit
+
+  // Dispatch-path scratch, reused across rounds: capacity settles at the
+  // workload's high-water mark, after which kind-visits never allocate.
+  std::vector<Row> rows_scratch_;
+  std::vector<SpecCandidate> spec_scratch_;
+  std::vector<DispatchTaskView> views_scratch_;
+  /// Dense PoolId.index() → per-pool views (FAIR bucketing). Buckets keep
+  /// their capacity across rounds; `by_pool_used_` lists the dirty ones so
+  /// clearing is O(pools seen this call), not O(all pools ever).
+  std::vector<std::vector<DispatchTaskView>> by_pool_;
+  std::vector<std::size_t> by_pool_used_;
+  std::vector<const NodeMetrics*> rank_rows_scratch_;
+  std::vector<NodeId> ranked_scratch_;
 };
 
 }  // namespace rupam

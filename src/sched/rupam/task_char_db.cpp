@@ -1,5 +1,7 @@
 #include "sched/rupam/task_char_db.hpp"
 
+#include <algorithm>
+
 namespace rupam {
 namespace {
 // Weight of the newest observation; history decays geometrically.
@@ -11,18 +13,25 @@ double smooth(double old_value, double new_value, int runs) {
 }
 }  // namespace
 
-std::string TaskCharDb::key(const std::string& stage_name, int partition) {
-  return stage_name + "#" + std::to_string(partition);
+StageNameId TaskCharDb::intern_stage(std::string_view stage_name) {
+  StageNameId id = stage_names_.intern(stage_name);
+  if (gpu_stages_.size() < stage_names_.size()) gpu_stages_.resize(stage_names_.size(), 0);
+  return id;
+}
+
+const TaskCharRecord* TaskCharDb::lookup(StageNameId stage, int partition) const {
+  if (!stage.valid()) return nullptr;
+  auto it = records_.find(key(stage, partition));
+  return it == records_.end() ? nullptr : &it->second;
 }
 
 const TaskCharRecord* TaskCharDb::lookup(const std::string& stage_name, int partition) const {
-  auto it = records_.find(key(stage_name, partition));
-  return it == records_.end() ? nullptr : &it->second;
+  return lookup(stage_names_.find(stage_name), partition);
 }
 
 TaskCharRecord& TaskCharDb::update(const std::string& stage_name, int partition,
                                    const TaskMetrics& metrics, ResourceKind bottleneck) {
-  TaskCharRecord& rec = records_[key(stage_name, partition)];
+  TaskCharRecord& rec = records_[key(intern_stage(stage_name), partition)];
   rec.compute_time = smooth(rec.compute_time, metrics.compute_time, rec.runs);
   rec.shuffle_read = smooth(rec.shuffle_read, metrics.shuffle_read_time, rec.runs);
   rec.shuffle_write = smooth(rec.shuffle_write, metrics.shuffle_write_time, rec.runs);
@@ -37,15 +46,19 @@ TaskCharRecord& TaskCharDb::update(const std::string& stage_name, int partition,
   return rec;
 }
 
-void TaskCharDb::mark_stage_gpu(const std::string& stage_name) { gpu_stages_.insert(stage_name); }
+void TaskCharDb::mark_stage_gpu(const std::string& stage_name) {
+  gpu_stages_[intern_stage(stage_name).index()] = 1;
+}
 
 bool TaskCharDb::stage_uses_gpu(const std::string& stage_name) const {
-  return gpu_stages_.count(stage_name) > 0;
+  return stage_uses_gpu(stage_names_.find(stage_name));
 }
 
 void TaskCharDb::clear() {
   records_.clear();
-  gpu_stages_.clear();
+  // Interned names survive a clear (ids stay stable across the paper's
+  // per-run DB resets); only the learned state is dropped.
+  std::fill(gpu_stages_.begin(), gpu_stages_.end(), 0);
 }
 
 }  // namespace rupam

@@ -59,10 +59,11 @@ std::vector<ResourceKind> TaskManager::classify(const TaskSpec& spec) const {
 
 void TaskManager::enqueue(const TaskSpec& spec, StageId stage, std::size_t task_index) {
   std::vector<Slot>& slots = slots_[{stage, task_index}];
+  StageNameId name = db_.intern_stage(spec.stage_name);
   for (ResourceKind kind : classify(spec)) {
     std::uint64_t seq = next_seq_++;
-    active_[static_cast<std::size_t>(kind)].emplace(seq,
-                                                    PendingRef{stage, task_index, spec.id});
+    active_[static_cast<std::size_t>(kind)].emplace(
+        seq, PendingRef{stage, task_index, spec.id, name});
     slots.push_back(Slot{kind, seq});
   }
 }

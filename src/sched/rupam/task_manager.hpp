@@ -43,6 +43,9 @@ class TaskManager {
     StageId stage = 0;
     std::size_t task_index = 0;
     TaskId task = 0;
+    /// Interned stage name (assigned at enqueue) — lets the dispatch path
+    /// hit DB_task_char without re-hashing the stage-name string.
+    StageNameId name;
   };
   /// Sequence number → ref, ordered by enqueue time. A task re-enqueued
   /// after a failure legitimately holds several refs per queue (the old

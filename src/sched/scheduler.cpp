@@ -27,6 +27,7 @@ SchedulerBase::SchedulerBase(SchedulerEnv env) : env_(std::move(env)) {
   if (env_.executors.size() != env_.cluster->size()) {
     throw std::invalid_argument("SchedulerBase: executor list must match cluster size");
   }
+  intern_pool(kDefaultPool);  // PoolId 0, always
   live_attempts_.assign(env_.executors.size(), {});
   for (Executor* e : env_.executors) wire_executor(e);
   // Subscribing in the base constructor means the scheduler's indexes are
@@ -133,43 +134,71 @@ bool SchedulerBase::launchable(const TaskState& task) const {
   return task.pending && !task.finished && sim().now() >= task.not_before;
 }
 
-const std::string& SchedulerBase::pool_of(const StageState& stage) {
-  static const std::string kDefault = kDefaultPool;
-  return stage.set.pool.empty() ? kDefault : stage.set.pool;
+void SchedulerBase::configure_pools(PoolConfig cfg) {
+  pools_ = std::move(cfg);
+  // Pools interned before this call (at minimum kDefaultPool) pick up
+  // their configured weight/minShare in the dense mirror.
+  for (std::uint32_t i = 0; i < pool_symbols_.size(); ++i) {
+    pool_specs_[i] = pools_.spec(pool_symbols_.name(PoolId(i)));
+  }
+}
+
+PoolId SchedulerBase::intern_pool(std::string_view name) {
+  std::size_t before = pool_symbols_.size();
+  PoolId id = pool_symbols_.intern(name);
+  if (pool_symbols_.size() == before) return id;  // already known
+  pool_specs_.push_back(pools_.spec(pool_symbols_.name(id)));
+  pool_running_.push_back(0);
+  starved_since_.push_back(-1.0);
+  pool_seen_stamp_.push_back(0);
+  // Recompute lexicographic ranks — O(P log P), once per distinct pool
+  // name over a run, so the fair_less tie-break never compares strings.
+  std::size_t n = pool_symbols_.size();
+  std::vector<std::uint32_t> by_name(n);
+  for (std::uint32_t i = 0; i < n; ++i) by_name[i] = i;
+  std::sort(by_name.begin(), by_name.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return pool_symbols_.name(PoolId(a)) < pool_symbols_.name(PoolId(b));
+  });
+  pool_lex_rank_.resize(n);
+  for (std::uint32_t rank = 0; rank < n; ++rank) {
+    pool_lex_rank_[by_name[rank]] = rank;
+  }
+  if (audit_ != nullptr) audit_->note_pool(id, pool_symbols_.name(id));
+  return id;
 }
 
 int SchedulerBase::pool_running_tasks(const std::string& pool) const {
-  auto it = pool_running_.find(pool);
-  return it == pool_running_.end() ? 0 : it->second;
+  PoolId id = pool_symbols_.find(pool);
+  return id.valid() ? pool_running_[id.index()] : 0;
 }
 
-std::vector<std::string> SchedulerBase::fair_pool_order() const {
+const std::vector<PoolId>& SchedulerBase::fair_pool_order() {
   // Live-attempt counts come from the incrementally maintained per-pool
   // tally — a live attempt always belongs to an active stage (stages are
   // erased only once fully drained), so this matches summing over stages_.
-  std::map<std::string, PoolSnapshot> snapshots;
+  pool_snapshot_scratch_.clear();
+  ++pool_stamp_;
   for (const auto& [id, stage] : stages_) {
-    const std::string& name = pool_of(stage);
-    auto [it, inserted] = snapshots.try_emplace(name);
-    if (inserted) {
-      PoolSnapshot& snap = it->second;
-      snap.name = name;
-      const PoolSpec& spec = pools_.spec(name);
-      snap.weight = spec.weight;
-      snap.min_share = spec.min_share;
-      snap.running = pool_running_tasks(name);
-    }
+    std::size_t p = stage.pool.index();
+    if (pool_seen_stamp_[p] == pool_stamp_) continue;
+    pool_seen_stamp_[p] = pool_stamp_;
+    const PoolSpec& spec = pool_specs_[p];
+    pool_snapshot_scratch_.push_back(
+        PoolIdSnapshot{stage.pool, pool_lex_rank_[p], pool_running_[p], spec.weight,
+                       spec.min_share});
   }
-  std::vector<PoolSnapshot> pools;
-  pools.reserve(snapshots.size());
-  for (auto& [name, snap] : snapshots) pools.push_back(std::move(snap));
-  return fair_order(std::move(pools));
+  std::sort(pool_snapshot_scratch_.begin(), pool_snapshot_scratch_.end(),
+            [](const PoolIdSnapshot& a, const PoolIdSnapshot& b) { return fair_less(a, b); });
+  pool_order_scratch_.clear();
+  for (const PoolIdSnapshot& snap : pool_snapshot_scratch_) {
+    pool_order_scratch_.push_back(snap.id);
+  }
+  return pool_order_scratch_;
 }
 
-std::vector<SchedulerBase::StageState*> SchedulerBase::schedulable_stages() {
-  std::vector<StageState*> out;
-  out.reserve(stages_.size());
-  for (auto& [id, stage] : stages_) out.push_back(&stage);
+const std::vector<SchedulerBase::StageState*>& SchedulerBase::schedulable_stages() {
+  stage_order_scratch_.clear();
+  for (auto& [id, stage] : stages_) stage_order_scratch_.push_back(&stage);
   auto fifo_less = [](const StageState* a, const StageState* b) {
     if (a->set.job != b->set.job) return a->set.job < b->set.job;
     return a->set.stage < b->set.stage;
@@ -177,20 +206,22 @@ std::vector<SchedulerBase::StageState*> SchedulerBase::schedulable_stages() {
   if (pools_.policy == PoolPolicy::kFifo) {
     // Spark FIFO: job priority (submission order) first, then stage id —
     // identical to the historical stage-id map order for one application.
-    std::sort(out.begin(), out.end(), fifo_less);
-    return out;
+    std::sort(stage_order_scratch_.begin(), stage_order_scratch_.end(), fifo_less);
+    return stage_order_scratch_;
   }
-  std::vector<std::string> order = fair_pool_order();
-  std::map<std::string, std::size_t> rank;
-  for (std::size_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
-  std::sort(out.begin(), out.end(),
-            [&rank, &fifo_less](const StageState* a, const StageState* b) {
-              std::size_t ra = rank.at(pool_of(*a));
-              std::size_t rb = rank.at(pool_of(*b));
+  const std::vector<PoolId>& order = fair_pool_order();
+  if (pool_rank_scratch_.size() < pool_symbols_.size()) {
+    pool_rank_scratch_.resize(pool_symbols_.size());
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) pool_rank_scratch_[order[i].index()] = i;
+  std::sort(stage_order_scratch_.begin(), stage_order_scratch_.end(),
+            [this, &fifo_less](const StageState* a, const StageState* b) {
+              std::size_t ra = pool_rank_scratch_[a->pool.index()];
+              std::size_t rb = pool_rank_scratch_[b->pool.index()];
               if (ra != rb) return ra < rb;
               return fifo_less(a, b);  // FIFO within a pool
             });
-  return out;
+  return stage_order_scratch_;
 }
 
 Locality SchedulerBase::locality_for(const TaskSpec& spec, NodeId node) const {
@@ -205,6 +236,13 @@ void SchedulerBase::attach(const Observers& observers) {
   trace_ = observers.trace;
   audit_ = observers.audit;
   profiler_ = observers.profiler;
+  if (audit_ != nullptr) {
+    // Backfill the audit's PoolId → name table for pools interned before
+    // the sink was attached; later interns notify incrementally.
+    for (std::uint32_t i = 0; i < pool_symbols_.size(); ++i) {
+      audit_->note_pool(PoolId(i), pool_symbols_.name(PoolId(i)));
+    }
+  }
   bind_metrics(observers.metrics);
 }
 
@@ -259,6 +297,8 @@ void SchedulerBase::submit(const TaskSet& task_set) {
   task_set.validate();
   StageState stage;
   stage.set = task_set;
+  stage.pool = intern_pool(task_set.pool.empty() ? std::string_view(kDefaultPool)
+                                                 : std::string_view(task_set.pool));
   stage.submit_time = sim().now();
   stage.remaining = task_set.size();
   stage.tasks.reserve(task_set.size());
@@ -429,8 +469,23 @@ void SchedulerBase::request_dispatch() {
     for (const auto& [id, stage] : stages_) total_tasks += stage.tasks.size();
     dispatch_work_.full_scan_equivalent += cluster().size() * total_tasks;
     if (dispatch_counter_ != nullptr) dispatch_counter_->inc();
-    OverheadProfiler::Scope profile(profiler_, ProfileSection::kDispatch);
-    try_dispatch();
+    if (profiler_ != nullptr && profiler_->counting_allocs()) {
+      // Allocation accounting (bench-only: a replaced operator new feeds
+      // the counter). Rounds that launch nothing are the steady state the
+      // zero-allocation gate covers; launch rounds allocate the attempt's
+      // execution state by design.
+      std::uint64_t allocs_before = profiler_->read_allocs();
+      std::size_t launches_before = launches_;
+      {
+        OverheadProfiler::Scope profile(profiler_, ProfileSection::kDispatch);
+        try_dispatch();
+      }
+      profiler_->note_dispatch_allocs(launches_ != launches_before,
+                                      profiler_->read_allocs() - allocs_before);
+    } else {
+      OverheadProfiler::Scope profile(profiler_, ProfileSection::kDispatch);
+      try_dispatch();
+    }
   });
 }
 
@@ -492,7 +547,7 @@ bool SchedulerBase::launch_task(StageState& stage, TaskState& task, NodeId node,
     d.attempt = attempt_id;
     d.node = node;
     d.locality = opts.locality;
-    d.pool = pool_of(stage);
+    d.pool = stage.pool;
     d.speculative = speculative;
     d.queue = kind;
     if (explained) {
@@ -508,8 +563,12 @@ bool SchedulerBase::launch_task(StageState& stage, TaskState& task, NodeId node,
     }
     audit_->record(std::move(d));
   }
-  trace(speculative ? TraceEventType::kSpeculativeLaunched : TraceEventType::kTaskLaunched,
-        stage_id, task.spec.id, attempt_id, node, std::string(to_string(opts.locality)));
+  if (trace_ != nullptr) {
+    // Detail string built only when a sink will record it — with tracing
+    // off, the launch path constructs no strings at all.
+    trace(speculative ? TraceEventType::kSpeculativeLaunched : TraceEventType::kTaskLaunched,
+          stage_id, task.spec.id, attempt_id, node, std::string(to_string(opts.locality)));
+  }
   if (on_task_launch_) on_task_launch_(stage.set.job, sim().now());
   if (!speculative) set_task_pending(stage, task_index, false);
   stage.last_launch = sim().now();
@@ -529,8 +588,10 @@ bool SchedulerBase::relocate_task(StageState& stage, TaskState& task,
     note_attempt_ended(attempt.node, attempt.kind, stage);
     note_node_maybe_free(attempt.node);
   }
-  trace(TraceEventType::kTaskRelocated, stage.set.stage, task.spec.id,
-        task.live.front().id, task.live.front().node, reason);
+  if (trace_ != nullptr) {
+    trace(TraceEventType::kTaskRelocated, stage.set.stage, task.spec.id,
+          task.live.front().id, task.live.front().node, reason);
+  }
   task.live.clear();
   set_task_pending(stage, static_cast<std::size_t>(&task - stage.tasks.data()), true);
   ++relocations_;
@@ -543,8 +604,10 @@ bool SchedulerBase::relocate_task(StageState& stage, TaskState& task,
 bool SchedulerBase::preempt_task(StageState& stage, TaskState& task) {
   if (task.finished || task.live.empty()) return false;
   auto live = task.live;
-  trace(TraceEventType::kTaskPreempted, stage.set.stage, task.spec.id, live.front().id,
-        live.front().node, "fair-share reclaim from pool " + pool_of(stage));
+  if (trace_ != nullptr) {
+    trace(TraceEventType::kTaskPreempted, stage.set.stage, task.spec.id, live.front().id,
+          live.front().node, "fair-share reclaim from pool " + pool_name(stage.pool));
+  }
   for (auto& attempt : live) {
     attempt.exec->kill("preempted", /*notify=*/false);
     note_attempt_ended(attempt.node, attempt.kind, stage);
@@ -554,7 +617,7 @@ bool SchedulerBase::preempt_task(StageState& stage, TaskState& task) {
   set_task_pending(stage, static_cast<std::size_t>(&task - stage.tasks.data()), true);
   ++preemptions_;
   RUPAM_INFO(sim().now(), name(), ": preempted task ", task.spec.id, " (pool ",
-             pool_of(stage), ")");
+             pool_name(stage.pool), ")");
   task_relaunchable(stage, task);
   request_dispatch();
   return true;
@@ -586,8 +649,10 @@ void SchedulerBase::handle_success(StageId stage_id, std::size_t task_index, Att
   }
   task.live.clear();
 
-  trace(TraceEventType::kTaskFinished, stage_id, metrics.task, attempt, metrics.node,
-        std::string(to_string(metrics.locality)), metrics.run_time());
+  if (trace_ != nullptr) {
+    trace(TraceEventType::kTaskFinished, stage_id, metrics.task, attempt, metrics.node,
+          std::string(to_string(metrics.locality)), metrics.run_time());
+  }
   if (delay_histogram_ != nullptr) delay_histogram_->observe(metrics.scheduler_delay);
   if (runtime_histogram_ != nullptr) runtime_histogram_->observe(metrics.run_time());
   if (gc_seconds_counter_ != nullptr) gc_seconds_counter_->inc(metrics.gc_time);
@@ -675,27 +740,23 @@ int SchedulerBase::free_slots_total() const {
 }
 
 std::map<std::string, double> SchedulerBase::fair_share_targets() const {
-  // Active pools: anything currently running attempts or holding demand.
-  std::map<std::string, int> running;
-  for (const auto& [pool, n] : pool_running_) {
-    if (n > 0) running[pool] = n;
-  }
-  std::map<std::string, std::size_t> demand;
-  for (const auto& [id, stage] : stages_) {
-    demand[pool_of(stage)] += stage.pending_index.size();
-  }
+  // Cold reporting API (autoscaler, tests): materializes the dense
+  // per-pool state back into a name-keyed map. Active pools: anything
+  // currently running attempts or holding demand.
   std::map<std::string, double> targets;
+  for (std::uint32_t i = 0; i < pool_symbols_.size(); ++i) {
+    if (pool_running_[i] > 0) targets.emplace(pool_symbols_.name(PoolId(i)), 0.0);
+  }
+  for (const auto& [id, stage] : stages_) {
+    if (!stage.pending_index.empty()) targets.emplace(pool_name(stage.pool), 0.0);
+  }
   double total_weight = 0.0;
-  for (const auto& [pool, n] : running) {
-    targets.emplace(pool, 0.0);
-  }
-  for (const auto& [pool, d] : demand) {
-    if (d > 0) targets.emplace(pool, 0.0);
-  }
   for (const auto& [pool, t] : targets) total_weight += pools_.spec(pool).weight;
   if (targets.empty() || total_weight <= 0.0) return targets;
   int running_total = 0;
-  for (const auto& [pool, n] : running) running_total += n;
+  for (int n : pool_running_) {
+    if (n > 0) running_total += n;
+  }
   double capacity = static_cast<double>(running_total + free_slots_total());
   for (auto& [pool, t] : targets) {
     t = capacity * pools_.spec(pool).weight / total_weight;
@@ -707,82 +768,116 @@ void SchedulerBase::preemption_tick() {
   preemption_timer_ =
       sim().schedule_after(preemption_.interval, [this] { preemption_tick(); });
   if (pools_.policy != PoolPolicy::kFair || stages_.empty()) {
-    starved_since_.clear();
+    std::fill(starved_since_.begin(), starved_since_.end(), -1.0);
     return;
   }
   SimTime now = sim().now();
-  std::map<std::string, double> targets = fair_share_targets();
-  std::map<std::string, std::size_t> demand;
+  std::size_t n = pool_symbols_.size();
+  // Dense per-pool demand, then the active-pool list in lexicographic
+  // name order — the iteration order the historical std::map version used,
+  // which decides starvation refresh order, `due` order, and first-max
+  // victim ties.
+  if (pool_demand_scratch_.size() < n) pool_demand_scratch_.resize(n);
+  std::fill(pool_demand_scratch_.begin(), pool_demand_scratch_.end(), 0);
   for (const auto& [id, stage] : stages_) {
-    demand[pool_of(stage)] += stage.pending_index.size();
+    pool_demand_scratch_[stage.pool.index()] += stage.pending_index.size();
+  }
+  active_pools_scratch_.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (pool_running_[i] > 0 || pool_demand_scratch_[i] > 0) {
+      active_pools_scratch_.push_back(PoolId(i));
+    }
+  }
+  std::sort(active_pools_scratch_.begin(), active_pools_scratch_.end(),
+            [this](PoolId a, PoolId b) {
+              return pool_lex_rank_[a.index()] < pool_lex_rank_[b.index()];
+            });
+  // Weighted fair-share targets over the active pools.
+  if (pool_target_scratch_.size() < n) pool_target_scratch_.resize(n);
+  double total_weight = 0.0;
+  int running_total = 0;
+  for (PoolId pool : active_pools_scratch_) {
+    total_weight += pool_specs_[pool.index()].weight;
+    running_total += pool_running_[pool.index()];
+  }
+  double capacity = static_cast<double>(running_total + free_slots_total());
+  for (PoolId pool : active_pools_scratch_) {
+    pool_target_scratch_[pool.index()] =
+        total_weight <= 0.0 ? 0.0
+                            : capacity * pool_specs_[pool.index()].weight / total_weight;
   }
   // Refresh starvation clocks: a pool is starved while it has demand and
   // runs below its fair share.
-  std::vector<std::string> due;
-  for (const auto& [pool, target] : targets) {
-    auto d = demand.find(pool);
-    bool starved = d != demand.end() && d->second > 0 &&
-                   static_cast<double>(pool_running_tasks(pool)) + 0.5 < target;
+  due_scratch_.clear();
+  for (PoolId pool : active_pools_scratch_) {
+    std::size_t i = pool.index();
+    bool starved = pool_demand_scratch_[i] > 0 &&
+                   static_cast<double>(pool_running_[i]) + 0.5 < pool_target_scratch_[i];
     if (!starved) {
-      starved_since_.erase(pool);
+      starved_since_[i] = -1.0;
       continue;
     }
-    auto [it, inserted] = starved_since_.try_emplace(pool, now);
-    if (!inserted && now - it->second >= preemption_.starvation_timeout) due.push_back(pool);
+    if (starved_since_[i] < 0.0) {
+      starved_since_[i] = now;
+    } else if (now - starved_since_[i] >= preemption_.starvation_timeout) {
+      due_scratch_.push_back(pool);
+    }
   }
-  if (due.empty()) return;
+  if (due_scratch_.empty()) return;
   // Victim pool: the one furthest above its share, with hysteresis.
   int kills_left = preemption_.max_kills_per_round;
-  for (const std::string& starved_pool : due) {
+  for (PoolId starved_pool : due_scratch_) {
     if (kills_left <= 0) break;
-    std::string victim;
+    PoolId victim;
     double worst_excess = 0.0;
-    for (const auto& [pool, target] : targets) {
+    for (PoolId pool : active_pools_scratch_) {
       if (pool == starved_pool) continue;
-      double over = static_cast<double>(pool_running_tasks(pool)) -
+      double target = pool_target_scratch_[pool.index()];
+      double over = static_cast<double>(pool_running_[pool.index()]) -
                     std::max(target * preemption_.share_slack, target + 0.5);
       if (over > worst_excess) {
         worst_excess = over;
         victim = pool;
       }
     }
-    if (victim.empty()) continue;
+    if (!victim.valid()) continue;
     // Kill the victim pool's newest attempts first: least wasted work.
-    std::vector<std::tuple<SimTime, StageState*, std::size_t>> candidates;
+    preempt_candidates_scratch_.clear();
     for (auto& [id, stage] : stages_) {
-      if (pool_of(stage) != victim) continue;
+      if (stage.pool != victim) continue;
       for (std::size_t i = 0; i < stage.tasks.size(); ++i) {
         TaskState& task = stage.tasks[i];
         if (task.finished || task.live.empty()) continue;
         SimTime newest = 0.0;
         for (const auto& a : task.live) newest = std::max(newest, a.exec->launch_time());
-        candidates.emplace_back(newest, &stage, i);
+        preempt_candidates_scratch_.emplace_back(newest, &stage, i);
       }
     }
-    std::sort(candidates.begin(), candidates.end(), [](const auto& a, const auto& b) {
-      return std::get<0>(a) > std::get<0>(b);
-    });
-    std::size_t want = static_cast<std::size_t>(std::max(
-        0.0, targets.at(starved_pool) - static_cast<double>(pool_running_tasks(starved_pool))));
+    std::sort(preempt_candidates_scratch_.begin(), preempt_candidates_scratch_.end(),
+              [](const auto& a, const auto& b) { return std::get<0>(a) > std::get<0>(b); });
+    std::size_t want = static_cast<std::size_t>(
+        std::max(0.0, pool_target_scratch_[starved_pool.index()] -
+                          static_cast<double>(pool_running_[starved_pool.index()])));
     std::size_t killed = 0;
-    for (const auto& [launched, stage, index] : candidates) {
+    for (const auto& [launched, stage, index] : preempt_candidates_scratch_) {
       if (kills_left <= 0 || killed >= std::max<std::size_t>(want, 1)) break;
       if (preempt_task(*stage, stage->tasks[index])) {
         --kills_left;
         ++killed;
       }
     }
-    if (killed > 0) starved_since_.erase(starved_pool);  // fresh timeout
+    if (killed > 0) starved_since_[starved_pool.index()] = -1.0;  // fresh timeout
   }
 }
 
-std::vector<std::pair<StageId, std::size_t>> SchedulerBase::find_speculatable() {
-  std::vector<std::pair<StageId, std::size_t>> out;
-  if (!speculation_.enabled) return out;
+const std::vector<std::pair<StageId, std::size_t>>& SchedulerBase::find_speculatable() {
+  speculatable_scratch_.clear();
+  if (!speculation_.enabled) return speculatable_scratch_;
   SpeculationRule rule{speculation_.quantile, speculation_.multiplier, 0.1};
-  std::vector<std::pair<double, std::pair<StageId, std::size_t>>> overdue;
+  overdue_scratch_.clear();
   for (auto& [stage_id, stage] : stages_) {
-    SimTime threshold = straggler_threshold(stage.finished_runtimes, stage.tasks.size(), rule);
+    SimTime threshold =
+        straggler_threshold(stage.finished_runtimes, stage.tasks.size(), rule, runtime_scratch_);
     if (threshold < 0.0) continue;
     for (std::size_t i = 0; i < stage.tasks.size(); ++i) {
       TaskState& task = stage.tasks[i];
@@ -790,16 +885,16 @@ std::vector<std::pair<StageId, std::size_t>> SchedulerBase::find_speculatable() 
       if (speculated_.count(task.spec.id) > 0) continue;
       SimTime elapsed = sim().now() - task.live.front().exec->launch_time();
       if (is_straggler(elapsed, threshold)) {
-        overdue.push_back({elapsed / threshold, {stage_id, i}});
+        overdue_scratch_.push_back({elapsed / threshold, {stage_id, i}});
       }
     }
   }
   // Most-overdue first: the worst stragglers get the next copy slots.
-  std::sort(overdue.begin(), overdue.end(),
+  std::sort(overdue_scratch_.begin(), overdue_scratch_.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
-  out.reserve(overdue.size());
-  for (const auto& [ratio, ref] : overdue) out.push_back(ref);
-  return out;
+  speculatable_scratch_.reserve(overdue_scratch_.size());
+  for (const auto& [ratio, ref] : overdue_scratch_) speculatable_scratch_.push_back(ref);
+  return speculatable_scratch_;
 }
 
 void SchedulerBase::note_speculative_launch(TaskId task) {
@@ -830,31 +925,6 @@ void SchedulerBase::note_node_maybe_free(NodeId node) {
   maybe_free_.insert(node);
 }
 
-void SchedulerBase::for_each_ready_node(NodeId start,
-                                        const std::function<bool(NodeId, Executor&)>& visit) {
-  // Two arcs of the NodeId ring: [start, end) then [begin, start). Nodes
-  // with no free slot (or a dead executor) are dropped lazily; unusable
-  // nodes stay — blacklist expiry is timed, so eviction would make the set
-  // lose its superset invariant.
-  auto sweep = [&](std::set<NodeId>::iterator it, std::set<NodeId>::iterator end) {
-    while (it != end) {
-      NodeId node = *it;
-      Executor* exec = executor(node);
-      if (exec == nullptr || !exec->alive() || exec->free_slots() <= 0) {
-        it = maybe_free_.erase(it);
-        continue;
-      }
-      ++it;
-      if (!node_usable(node)) continue;
-      ++dispatch_work_.node_visits;
-      if (!visit(node, *exec)) return false;
-    }
-    return true;
-  };
-  if (!sweep(maybe_free_.lower_bound(start), maybe_free_.end())) return;
-  sweep(maybe_free_.begin(), maybe_free_.lower_bound(start));
-}
-
 int SchedulerBase::live_attempts(NodeId node, ResourceKind kind) const {
   if (node < 0 || static_cast<std::size_t>(node) >= live_attempts_.size()) return 0;
   return live_attempts_[static_cast<std::size_t>(node)][static_cast<std::size_t>(kind)];
@@ -865,7 +935,7 @@ void SchedulerBase::note_attempt_started(NodeId node, ResourceKind kind,
   if (node >= 0 && static_cast<std::size_t>(node) < live_attempts_.size()) {
     ++live_attempts_[static_cast<std::size_t>(node)][static_cast<std::size_t>(kind)];
   }
-  ++pool_running_[pool_of(stage)];
+  ++pool_running_[stage.pool.index()];
 }
 
 void SchedulerBase::note_attempt_ended(NodeId node, ResourceKind kind,
@@ -873,7 +943,7 @@ void SchedulerBase::note_attempt_ended(NodeId node, ResourceKind kind,
   if (node >= 0 && static_cast<std::size_t>(node) < live_attempts_.size()) {
     --live_attempts_[static_cast<std::size_t>(node)][static_cast<std::size_t>(kind)];
   }
-  --pool_running_[pool_of(stage)];
+  --pool_running_[stage.pool.index()];
 }
 
 const std::set<NodeId>* SchedulerBase::nodes_caching(const std::string& key) const {

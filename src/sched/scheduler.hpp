@@ -19,6 +19,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/liveness.hpp"
+#include "common/symbol.hpp"
 #include "dag/job.hpp"
 #include "exec/executor.hpp"
 #include "metrics/event_trace.hpp"
@@ -120,8 +121,9 @@ class SchedulerBase {
   void configure_preemption(const PreemptionConfig& cfg) { preemption_ = cfg; }
   const PreemptionConfig& preemption() const { return preemption_; }
   /// Cross-job scheduling policy (FIFO default, FAIR pools for
-  /// multi-tenant runs). See sched/pool.hpp.
-  void configure_pools(PoolConfig cfg) { pools_ = std::move(cfg); }
+  /// multi-tenant runs). See sched/pool.hpp. Refreshes the dense per-pool
+  /// spec mirror for pools already interned.
+  void configure_pools(PoolConfig cfg);
   const PoolConfig& pools() const { return pools_; }
   /// Observer fired on every task launch with the owning job — the JCT
   /// accountant derives per-job queueing delay from the first launch.
@@ -235,6 +237,8 @@ class SchedulerBase {
   };
   struct StageState {
     TaskSet set;
+    /// Interned pool id (assigned in submit; "" maps to kDefaultPool).
+    PoolId pool;
     SimTime submit_time = 0.0;
     std::vector<TaskState> tasks;
     std::size_t remaining = 0;
@@ -255,13 +259,18 @@ class SchedulerBase {
   /// over running tasks (minShare first), FIFO within a pool. Schedulers
   /// walk this instead of stages_ so pool policy decides which job's
   /// taskset is offered resources before per-node placement logic runs.
-  std::vector<StageState*> schedulable_stages();
+  /// Returns a reference into member scratch, valid until the next call
+  /// (each dispatch round recomputes; never iterate two results at once).
+  const std::vector<StageState*>& schedulable_stages();
 
-  /// The pool a stage is billed to ("" → kDefaultPool).
-  static const std::string& pool_of(const StageState& stage);
+  /// The pool a stage is billed to (interned at submit; "" → kDefaultPool).
+  static PoolId pool_of(const StageState& stage) { return stage.pool; }
+  /// Name behind an interned pool id — O(1), no allocation.
+  const std::string& pool_name(PoolId id) const { return pool_symbols_.name(id); }
 
-  /// Pool names in fair-schedule order over the currently active stages.
-  std::vector<std::string> fair_pool_order() const;
+  /// Pool ids in fair-schedule order over the currently active stages.
+  /// Reference into member scratch, valid until the next call.
+  const std::vector<PoolId>& fair_pool_order();
   /// Subclass hooks around the task life cycle.
   virtual void stage_submitted(StageState& stage) { (void)stage; }
   virtual void task_succeeded(StageState& stage, TaskState& task, const TaskMetrics& metrics) {
@@ -314,6 +323,9 @@ class SchedulerBase {
   /// True when an audit sink is attached — schedulers gate rationale
   /// string-building on this.
   bool audit_enabled() const { return audit_ != nullptr; }
+  /// True when a trace sink is attached — launch paths gate trace-detail
+  /// string construction on this (lazy-observability contract, DESIGN §15).
+  bool tracing() const { return trace_ != nullptr; }
   /// Attached profiler (may be null) for subclass-specific sections.
   OverheadProfiler* profiler() const { return profiler_; }
 
@@ -351,8 +363,30 @@ class SchedulerBase {
   /// via note_node_maybe_free); unusable (dead/blacklisted) nodes are
   /// skipped but kept, since un-blacklisting is time-based, not evented.
   /// Equivalent to the pre-index `ids[(i + rotation) % n]` sweep
-  /// restricted to nodes that pass the free/alive checks.
-  void for_each_ready_node(NodeId start, const std::function<bool(NodeId, Executor&)>& visit);
+  /// restricted to nodes that pass the free/alive checks. A template so
+  /// the per-round visitor lambda never lands in a heap-backed
+  /// std::function (the dispatch path is allocation-free).
+  template <class Visit>
+  void for_each_ready_node(NodeId start, Visit&& visit) {
+    // Two arcs of the NodeId ring: [start, end) then [begin, start).
+    auto sweep = [&](std::set<NodeId>::iterator it, std::set<NodeId>::iterator end) {
+      while (it != end) {
+        NodeId node = *it;
+        Executor* exec = executor(node);
+        if (exec == nullptr || !exec->alive() || exec->free_slots() <= 0) {
+          it = maybe_free_.erase(it);
+          continue;
+        }
+        ++it;
+        if (!node_usable(node)) continue;
+        ++dispatch_work_.node_visits;
+        if (!visit(node, *exec)) return false;
+      }
+      return true;
+    };
+    if (!sweep(maybe_free_.lower_bound(start), maybe_free_.end())) return;
+    sweep(maybe_free_.begin(), maybe_free_.lower_bound(start));
+  }
   /// Superset of the nodes with a free slot (lazy deletion — callers must
   /// re-check free_slots/alive/usable at use).
   const std::set<NodeId>& maybe_free_nodes() const { return maybe_free_; }
@@ -379,7 +413,8 @@ class SchedulerBase {
   void request_dispatch();
 
   /// Tasks eligible for a speculative copy right now: (stage, task index).
-  std::vector<std::pair<StageId, std::size_t>> find_speculatable();
+  /// Reference into member scratch, valid until the next call.
+  const std::vector<std::pair<StageId, std::size_t>>& find_speculatable();
   /// Records that a speculative copy was launched (stats + dedup).
   void note_speculative_launch(TaskId task);
 
@@ -408,6 +443,12 @@ class SchedulerBase {
   void handle_membership(NodeId node, NodeLifecycle state);
   /// Shared wiring for construction-time and runtime-registered executors.
   void wire_executor(Executor* exec);
+
+  /// Intern a pool name, growing every dense PoolId-indexed mirror and
+  /// recomputing lexicographic ranks on first sighting (rare: once per
+  /// distinct pool name over a run). Notifies an attached audit sink so
+  /// exports can resolve the pool column.
+  PoolId intern_pool(std::string_view name);
 
   /// Set task.pending, keep stage.pending_index in sync, and fire
   /// task_pending_changed when set membership actually changed.
@@ -453,8 +494,35 @@ class SchedulerBase {
   std::set<NodeId> maybe_free_;
   /// Per-node live-attempt counts by dispatch kind.
   std::vector<std::array<int, kNumResourceKinds>> live_attempts_;
-  /// Live attempts per pool (fair-share "running cores").
-  std::map<std::string, int> pool_running_;
+  /// Interned pool names; id 0 is always kDefaultPool. Per-scheduler, so
+  /// concurrent sweep simulations never share state.
+  TypedSymbolTable<PoolNameTag> pool_symbols_;
+  /// Dense PoolId-indexed mirrors, grown by intern_pool.
+  std::vector<PoolSpec> pool_specs_;
+  /// PoolId → rank of its name in lexicographic order (the fair_less
+  /// name tie-break without the strings).
+  std::vector<std::uint32_t> pool_lex_rank_;
+  /// Live attempts per pool (fair-share "running cores"), by PoolId.
+  std::vector<int> pool_running_;
+  /// Active-pool dedup stamps for the per-round pool scans.
+  std::vector<std::uint64_t> pool_seen_stamp_;
+  std::uint64_t pool_stamp_ = 0;
+  // Reused per-round scratch buffers (DESIGN §15 "Dispatch data layout"):
+  // cleared, refilled and returned by reference each round, so the steady
+  // state allocates nothing once capacities have warmed up.
+  std::vector<PoolIdSnapshot> pool_snapshot_scratch_;
+  std::vector<PoolId> pool_order_scratch_;
+  std::vector<std::size_t> pool_rank_scratch_;
+  std::vector<StageState*> stage_order_scratch_;
+  std::vector<std::pair<StageId, std::size_t>> speculatable_scratch_;
+  std::vector<std::pair<double, std::pair<StageId, std::size_t>>> overdue_scratch_;
+  std::vector<double> runtime_scratch_;
+  // Preemption-scan scratch (same shape: dense by PoolId).
+  std::vector<PoolId> active_pools_scratch_;
+  std::vector<double> pool_target_scratch_;
+  std::vector<std::size_t> pool_demand_scratch_;
+  std::vector<PoolId> due_scratch_;
+  std::vector<std::tuple<SimTime, StageState*, std::size_t>> preempt_candidates_scratch_;
   /// Block key → nodes caching it (from BlockCache change events).
   std::map<std::string, std::set<NodeId>> cache_locations_;
   DispatchWorkCounters dispatch_work_;
@@ -465,8 +533,9 @@ class SchedulerBase {
   EventHandle speculation_timer_;
   EventHandle fault_tolerance_timer_;
   EventHandle preemption_timer_;
-  /// Pool → time it fell below fair share (cleared when served/reclaimed).
-  std::map<std::string, SimTime> starved_since_;
+  /// PoolId → time it fell below fair share; < 0 = not starved (cleared
+  /// when served/reclaimed).
+  std::vector<SimTime> starved_since_;
   /// Cluster membership subscription (unsubscribed in the destructor).
   std::size_t membership_token_ = 0;
   NodeLivenessTracker liveness_;

@@ -158,7 +158,7 @@ void SparkScheduler::try_dispatch() {
     progressed = false;
     // Re-rank tasksets each offer round: under FAIR the launches of the
     // previous round shift every pool's share.
-    std::vector<StageState*> ordered = schedulable_stages();
+    const std::vector<StageState*>& ordered = schedulable_stages();
     // Rotate the starting node between rounds: Spark shuffles offers so
     // one node does not soak up every wave.
     NodeId start = static_cast<NodeId>(offer_rotation_ % n);

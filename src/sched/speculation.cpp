@@ -15,6 +15,17 @@ SimTime straggler_threshold(const std::vector<double>& finished_runtimes,
   return std::max(rule.multiplier * median, rule.min_threshold);
 }
 
+SimTime straggler_threshold(const std::vector<double>& finished_runtimes,
+                            std::size_t total_tasks, const SpeculationRule& rule,
+                            std::vector<double>& scratch) {
+  if (total_tasks == 0 || finished_runtimes.empty()) return -1.0;
+  double finished = static_cast<double>(finished_runtimes.size());
+  if (finished < rule.quantile * static_cast<double>(total_tasks)) return -1.0;
+  scratch.assign(finished_runtimes.begin(), finished_runtimes.end());
+  double median = percentile_inplace(scratch, 50.0);
+  return std::max(rule.multiplier * median, rule.min_threshold);
+}
+
 bool is_straggler(SimTime elapsed, SimTime threshold) {
   return threshold >= 0.0 && elapsed > threshold;
 }

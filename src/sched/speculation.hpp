@@ -22,6 +22,13 @@ struct SpeculationRule {
 SimTime straggler_threshold(const std::vector<double>& finished_runtimes,
                             std::size_t total_tasks, const SpeculationRule& rule);
 
+/// Same rule using a caller-owned scratch buffer for the median, so a hot
+/// caller (the per-round speculation scan) allocates nothing once the
+/// scratch capacity has warmed up. `scratch` is clobbered.
+SimTime straggler_threshold(const std::vector<double>& finished_runtimes,
+                            std::size_t total_tasks, const SpeculationRule& rule,
+                            std::vector<double>& scratch);
+
 bool is_straggler(SimTime elapsed, SimTime threshold);
 
 }  // namespace rupam

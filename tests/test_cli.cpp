@@ -90,6 +90,7 @@ TEST(Cli, UsageTextCoversEveryFlag) {
       {"compare_test", "--compare"},
       {"compare_out", "--compare-out"},
       {"compare_strict", "--compare-strict"},
+      {"compare_tolerance", "--compare-tolerance"},
       {"faults", "--faults"},
       {"chaos_seed", "--chaos"},
       {"sweep", "--sweep"},
